@@ -1,0 +1,80 @@
+// Command cppbench regenerates every table and figure of the paper's
+// evaluation (§4) and prints them, optionally as CSV or restricted to one
+// figure. EXPERIMENTS.md records a full run of this tool.
+//
+// Usage:
+//
+//	cppbench                 # all figures at the default scale
+//	cppbench -fig 10         # only Figure 10
+//	cppbench -csv -scale 2   # CSV output, smaller workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cppcache"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 0, "workload scale (0 = default)")
+		fig     = flag.Int("fig", 0, "only this figure (3, 9, 10, 11, 12, 13, 14, 15); 0 = all")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		related = flag.Bool("related", false, "also run the related-work comparison (VC, LCC) and the energy estimate")
+	)
+	flag.Parse()
+
+	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
+	show := func(t *cppcache.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println("#", t.Title)
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	start := time.Now()
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	if want(3) {
+		show(s.Figure3())
+	}
+	if want(9) {
+		fmt.Println(cppcache.BaselineDescription())
+	}
+	if want(10) {
+		show(s.Figure10())
+	}
+	if want(11) {
+		show(s.Figure11())
+	}
+	if want(12) {
+		show(s.Figure12())
+	}
+	if want(13) {
+		show(s.Figure13())
+	}
+	if want(14) {
+		show(s.Figure14())
+	}
+	if want(15) {
+		show(s.Figure15())
+	}
+	if *related {
+		show(s.RelatedWorkTime())
+		show(s.RelatedWorkTraffic())
+		show(s.Energy())
+	}
+	if *fig == 0 {
+		show(s.InstructionMix())
+	}
+	fmt.Fprintf(os.Stderr, "total time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,70 @@
+// Command cppsim runs one benchmark on one cache configuration and prints
+// the result.
+//
+// Usage:
+//
+//	cppsim -bench olden.health -config CPP [-scale 4] [-halved] [-functional]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cppcache"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "olden.health", "benchmark name (see -list)")
+		config     = flag.String("config", "CPP", "cache configuration: BC, BCC, HAC, BCP or CPP")
+		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
+		halved     = flag.Bool("halved", false, "halve the miss penalties (Figure 14 methodology)")
+		functional = flag.Bool("functional", false, "skip the pipeline model (faster; no cycle counts)")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, info := range cppcache.BenchmarkInfos() {
+			fmt.Printf("%-22s %-9s %s\n", info.Name, info.Suite, info.Description)
+		}
+		return
+	}
+
+	res, err := cppcache.Run(*bench, cppcache.CacheConfig(strings.ToUpper(*config)), cppcache.Options{
+		Scale:            *scale,
+		HalveMissPenalty: *halved,
+		FunctionalOnly:   *functional,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("configuration    %s\n", res.Config)
+	if !*functional {
+		fmt.Printf("cycles           %d\n", res.Cycles)
+		fmt.Printf("instructions     %d\n", res.Instructions)
+		fmt.Printf("IPC              %.3f\n", res.IPC)
+	}
+	fmt.Printf("L1 accesses      %d\n", res.L1Accesses)
+	fmt.Printf("L1 misses        %d (%.2f%%)\n", res.L1Misses, 100*res.L1MissRate())
+	fmt.Printf("L2 accesses      %d\n", res.L2Accesses)
+	fmt.Printf("L2 misses        %d (%.2f%%)\n", res.L2Misses, 100*res.L2MissRate())
+	fmt.Printf("memory traffic   %.1f words\n", res.MemTrafficWords)
+	if res.Config == cppcache.CPP {
+		fmt.Printf("affiliated hits  L1=%d L2=%d\n", res.AffiliatedHitsL1, res.AffiliatedHitsL2)
+		fmt.Printf("promotions       %d\n", res.Promotions)
+		fmt.Printf("words prefetched %d\n", res.AffWordsPrefetched)
+	}
+	if res.Config == cppcache.BCP {
+		fmt.Printf("buffer hits      L1=%d L2=%d\n", res.PrefetchBufferHitsL1, res.PrefetchBufferHitsL2)
+	}
+	if !*functional {
+		fmt.Printf("mispredicts      %d\n", res.Mispredicts)
+		fmt.Printf("ready queue/miss %.2f\n", res.AvgReadyQueueInMiss)
+	}
+}

@@ -1,0 +1,74 @@
+// Command cppstudy reproduces the value-compressibility study (Figure 3)
+// and, optionally, the compression-width ablation.
+//
+// Usage:
+//
+//	cppstudy [-scale 4] [-widths]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cppcache"
+	"cppcache/internal/compress"
+	"cppcache/internal/isa"
+	"cppcache/internal/workload"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 0, "workload scale (0 = default)")
+		widths = flag.Bool("widths", false, "also sweep the compressed-word width")
+	)
+	flag.Parse()
+
+	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
+	t, err := s.Figure3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppstudy:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+
+	var avg float64
+	for _, r := range t.Rows {
+		avg += t.Get(r, "small") + t.Get(r, "pointer")
+	}
+	fmt.Printf("average compressible: %.1f%% (paper: 59%%)\n\n", 100*avg/float64(len(t.Rows)))
+
+	if !*widths {
+		return
+	}
+	sc := *scale
+	if sc == 0 {
+		sc = workload.DefaultScale
+	}
+	fmt.Println("compression-width ablation (fraction compressible per payload width):")
+	fmt.Printf("%-22s %8s %8s %8s %8s\n", "benchmark", "7b", "11b", "15b", "23b")
+	for _, bm := range workload.All() {
+		p := bm.Build(sc)
+		var tot float64
+		counts := map[int]float64{}
+		st := p.Stream()
+		for {
+			in, ok := st.Next()
+			if !ok {
+				break
+			}
+			if !in.Op.IsMem() {
+				continue
+			}
+			tot++
+			for _, w := range []int{7, 11, 15, 23} {
+				if compress.CompressibleWidth(in.Value, in.Addr, w) {
+					counts[w]++
+				}
+			}
+		}
+		_ = isa.OpLoad
+		fmt.Printf("%-22s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", bm.Name,
+			100*counts[7]/tot, 100*counts[11]/tot, 100*counts[15]/tot, 100*counts[23]/tot)
+	}
+}

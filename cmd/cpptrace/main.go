@@ -1,0 +1,89 @@
+// Command cpptrace generates benchmark traces in the cppcache binary
+// format, or inspects existing trace files.
+//
+// Usage:
+//
+//	cpptrace -bench olden.mst -scale 2 -o mst.trace
+//	cpptrace -info mst.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cppcache"
+	"cppcache/internal/isa"
+	"cppcache/internal/trace"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark to trace")
+		scale = flag.Int("scale", 0, "workload scale (0 = default)")
+		out   = flag.String("o", "", "output file (default stdout)")
+		info  = flag.String("info", "", "inspect an existing trace file instead")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := inspect(*info); err != nil {
+			fmt.Fprintln(os.Stderr, "cpptrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "cpptrace: -bench or -info required")
+		os.Exit(2)
+	}
+	p, err := cppcache.BuildBenchmark(*bench, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpptrace:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpptrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := p.WriteTo(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpptrace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d instructions\n", n)
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var mix isa.Mix
+	for {
+		in, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		mix.Add(in)
+	}
+	fmt.Printf("instructions  %d\n", mix.Total)
+	for _, op := range []isa.Op{isa.OpALU, isa.OpMul, isa.OpDiv, isa.OpFALU, isa.OpFMul, isa.OpFDiv, isa.OpLoad, isa.OpStore, isa.OpBranch} {
+		if mix.Counts[op] > 0 {
+			fmt.Printf("%-8s %9d (%.1f%%)\n", op, mix.Counts[op], 100*mix.Frac(op))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Package cppcache is a library-grade reproduction of "Enabling Partial
+// Cache Line Prefetching Through Data Compression" (Youtao Zhang and Rajiv
+// Gupta, ICPP 2003).
+//
+// The paper's contribution — the CPP cache, which stores 32-bit words in a
+// 16-bit compressed form when possible and uses the freed half-slots to
+// prefetch the compressible words of the next ("affiliated") cache line,
+// with no prefetch buffers and no extra memory bandwidth — is implemented
+// in internal/core, together with every substrate the evaluation needs: a
+// value compressor (internal/compress), conventional and prefetching cache
+// hierarchies (internal/hier), a cycle-stepped 4-issue out-of-order core
+// standing in for SimpleScalar (internal/cpu), and trace generators for
+// the paper's 14 Olden/SPECint benchmarks (internal/workload).
+//
+// This package is the public face: run one benchmark on one cache
+// configuration (Run), build custom traces (NewTraceBuilder), use the
+// value-compression scheme directly (CompressWord and friends), and
+// regenerate every figure of the paper's evaluation (Figure3 through
+// Figure15 in experiments.go).
+package cppcache
+
+import (
+	"fmt"
+
+	"cppcache/internal/core"
+	"cppcache/internal/cpu"
+	"cppcache/internal/hier"
+	"cppcache/internal/mem"
+	"cppcache/internal/memsys"
+	"cppcache/internal/sim"
+	"cppcache/internal/workload"
+)
+
+// CacheConfig names one of the paper's five cache configurations (§4.1).
+type CacheConfig string
+
+// The five configurations compared by the paper.
+const (
+	// BC is the baseline: 8K direct-mapped L1 (64 B lines), 64K 2-way
+	// L2 (128 B lines).
+	BC CacheConfig = "BC"
+	// BCC is BC plus value compression on off-chip transfers; identical
+	// timing, less traffic.
+	BCC CacheConfig = "BCC"
+	// HAC doubles the associativity at both levels.
+	HAC CacheConfig = "HAC"
+	// BCP is BC plus next-line prefetch-on-miss with 8-entry (L1) and
+	// 32-entry (L2) prefetch buffers.
+	BCP CacheConfig = "BCP"
+	// CPP is the paper's contribution: compression-enabled partial
+	// cache line prefetching.
+	CPP CacheConfig = "CPP"
+
+	// VC is a related-work comparison beyond the paper's five: BC plus
+	// an 8-entry victim cache (Jouppi, the paper's reference [3]).
+	VC CacheConfig = "VC"
+	// LCC is the line-level compression cache of the paper's related
+	// work ([6]): two conflicting lines share a frame only when both are
+	// fully compressible; no partial-line prefetching.
+	LCC CacheConfig = "LCC"
+)
+
+// Configs returns all configurations in presentation order.
+func Configs() []CacheConfig {
+	out := make([]CacheConfig, 0, 5)
+	for _, c := range sim.Configs() {
+		out = append(out, CacheConfig(c))
+	}
+	return out
+}
+
+// ExtraConfigs returns the related-work configurations implemented beyond
+// the paper's five (VC and LCC).
+func ExtraConfigs() []CacheConfig {
+	out := make([]CacheConfig, 0, 2)
+	for _, c := range sim.ExtraConfigs() {
+		out = append(out, CacheConfig(c))
+	}
+	return out
+}
+
+// Benchmarks returns the names of the 14 workloads (olden.*, spec95.*,
+// spec2000.*).
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkInfo describes one workload.
+type BenchmarkInfo struct {
+	Name         string
+	Suite        string
+	Description  string
+	Substitution string // what replaced the original binary/input
+}
+
+// BenchmarkInfos returns metadata for every workload.
+func BenchmarkInfos() []BenchmarkInfo {
+	all := workload.All()
+	out := make([]BenchmarkInfo, len(all))
+	for i, bm := range all {
+		out[i] = BenchmarkInfo{bm.Name, bm.Suite, bm.Description, bm.Substitution}
+	}
+	return out
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// Scale multiplies the workload's compute phase. 0 means the
+	// experiment default (4).
+	Scale int
+	// HalveMissPenalty halves the L2-hit and memory latencies, as the
+	// miss-importance methodology of Figure 14 requires.
+	HalveMissPenalty bool
+	// FunctionalOnly skips the pipeline model: misses and traffic are
+	// still exact, cycle counts are zero. Roughly 10x faster.
+	FunctionalOnly bool
+}
+
+// Result reports one run.
+type Result struct {
+	Benchmark string
+	Config    CacheConfig
+
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+
+	L1Accesses int64
+	L1Misses   int64
+	L2Accesses int64
+	L2Misses   int64
+
+	// MemTrafficWords is the total off-chip traffic in 32-bit words
+	// (compressed transfers count fractionally).
+	MemTrafficWords float64
+
+	// CPP-specific counters (zero for other configurations).
+	AffiliatedHitsL1   int64
+	AffiliatedHitsL2   int64
+	Promotions         int64
+	AffWordsPrefetched int64
+
+	// BCP-specific counters.
+	PrefetchBufferHitsL1 int64
+	PrefetchBufferHitsL2 int64
+
+	// Ready-queue instrumentation (Figure 15).
+	AvgReadyQueueInMiss float64
+
+	Mispredicts  int64
+	ICacheMisses int64
+}
+
+// L1MissRate returns L1Misses / L1Accesses.
+func (r Result) L1MissRate() float64 {
+	if r.L1Accesses == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) / float64(r.L1Accesses)
+}
+
+// L2MissRate returns L2Misses / L2Accesses.
+func (r Result) L2MissRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Misses) / float64(r.L2Accesses)
+}
+
+func fromSim(r sim.Result) Result {
+	return Result{
+		Benchmark:            r.Benchmark,
+		Config:               CacheConfig(r.Config),
+		Cycles:               r.CPU.Cycles,
+		Instructions:         r.CPU.Instructions,
+		IPC:                  r.CPU.IPC(),
+		L1Accesses:           r.Mem.L1.Accesses,
+		L1Misses:             r.Mem.L1.Misses,
+		L2Accesses:           r.Mem.L2.Accesses,
+		L2Misses:             r.Mem.L2.Misses,
+		MemTrafficWords:      r.Mem.MemTrafficWords(),
+		AffiliatedHitsL1:     r.Mem.AffHitsL1,
+		AffiliatedHitsL2:     r.Mem.AffHitsL2,
+		Promotions:           r.Mem.Promotions,
+		AffWordsPrefetched:   r.Mem.AffWordsPrefetchedL1 + r.Mem.AffWordsPrefetchedL2,
+		PrefetchBufferHitsL1: r.Mem.PfBufHitsL1,
+		PrefetchBufferHitsL2: r.Mem.PfBufHitsL2,
+		AvgReadyQueueInMiss:  r.CPU.AvgReadyQueueInMiss(),
+		Mispredicts:          r.CPU.Mispredicts,
+		ICacheMisses:         r.CPU.ICacheMisses,
+	}
+}
+
+// Run simulates the named benchmark on the given cache configuration.
+func Run(benchmark string, cfg CacheConfig, opts Options) (Result, error) {
+	bm, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = workload.DefaultScale
+	}
+	return RunProgram(&Program{p: bm.Build(scale)}, cfg, opts)
+}
+
+// RunProgram simulates a custom program (built with NewTraceBuilder) on
+// the given cache configuration.
+func RunProgram(p *Program, cfg CacheConfig, opts Options) (Result, error) {
+	lat := memsys.DefaultLatencies()
+	if opts.HalveMissPenalty {
+		lat = lat.Halved()
+	}
+	if opts.FunctionalOnly {
+		r, err := sim.RunFunctional(p.p, string(cfg), lat)
+		if err != nil {
+			return Result{}, err
+		}
+		return fromSim(r), nil
+	}
+	r, err := sim.Run(p.p, string(cfg), lat, cpu.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(r), nil
+}
+
+// NewSystem builds a standalone cache hierarchy of the named configuration
+// over a fresh main memory, for word-level experimentation: Read and
+// Write return the access latency in cycles along with the data.
+func NewSystem(cfg CacheConfig) (System, error) {
+	m := mem.New()
+	sys, err := sim.NewSystem(string(cfg), m, memsys.DefaultLatencies())
+	if err != nil {
+		return nil, err
+	}
+	return &system{sys: sys}, nil
+}
+
+// System is a standalone two-level cache hierarchy over main memory.
+type System interface {
+	// Read loads the 32-bit word at the word-aligned address, returning
+	// the value and the access latency in cycles.
+	Read(addr uint32) (value uint32, latencyCycles int)
+	// Write stores a word, returning the access latency in cycles.
+	Write(addr uint32, value uint32) (latencyCycles int)
+	// Name returns the configuration name.
+	Name() string
+	// Snapshot returns the accumulated statistics.
+	Snapshot() Result
+}
+
+type system struct{ sys memsys.System }
+
+func (s *system) Read(addr uint32) (uint32, int) { return s.sys.Read(addr) }
+func (s *system) Write(addr, v uint32) int       { return s.sys.Write(addr, v) }
+func (s *system) Name() string                   { return s.sys.Name() }
+func (s *system) Snapshot() Result {
+	return fromSim(sim.Result{Config: s.sys.Name(), Mem: *s.sys.Stats()})
+}
+
+// CPPDetails returns the CPP design parameters in force for the given
+// standalone system, or an error for other configurations.
+func CPPDetails(s System) (mask uint32, victimPlacement bool, err error) {
+	sys, ok := s.(*system)
+	if !ok {
+		return 0, false, fmt.Errorf("cppcache: not a system built by NewSystem")
+	}
+	h, ok := sys.sys.(*core.Hierarchy)
+	if !ok {
+		return 0, false, fmt.Errorf("cppcache: %s is not a CPP hierarchy", s.Name())
+	}
+	cfg := h.Config()
+	return cfg.Mask, cfg.VictimPlacement, nil
+}
+
+// BaselineDescription renders the Figure 9 configuration table.
+func BaselineDescription() string {
+	return baselineTable()
+}
+
+var _ = hier.BaselineConfig // keep the dependency explicit for godoc cross-reference
+
+// RunCPPVariant simulates a benchmark on a CPP hierarchy with explicit
+// design knobs — the affiliated-line mask (the paper uses 0x1: next-line
+// pairing) and the victim-placement policy (§3.3) — for ablation studies.
+func RunCPPVariant(benchmark string, mask uint32, victimPlacement bool, opts Options) (Result, error) {
+	bm, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = workload.DefaultScale
+	}
+	lat := memsys.DefaultLatencies()
+	if opts.HalveMissPenalty {
+		lat = lat.Halved()
+	}
+	r, err := sim.RunCPPVariant(bm.Build(scale), lat, cpu.DefaultParams(), mask, victimPlacement)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(r), nil
+}
+
+// CompressibleWordWidth reports compressibility under a generalised
+// compressed width (payloadBits low-order bits kept; the paper uses 15).
+// It backs the compression-width ablation.
+func CompressibleWordWidth(value, addr uint32, payloadBits int) bool {
+	return compressWidth(value, addr, payloadBits)
+}

@@ -1,0 +1,3 @@
+module cppcache
+
+go 1.22

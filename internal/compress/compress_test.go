@@ -1,0 +1,256 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cppcache/internal/mach"
+)
+
+func TestIsSmall(t *testing.T) {
+	small := []mach.Word{0, 1, 16383, 0xFFFFFFFF /* -1 */, 0xFFFFC000 /* -16384 */}
+	for _, v := range small {
+		if !IsSmall(v) {
+			t.Errorf("IsSmall(%#x) = false, want true", v)
+		}
+	}
+	big := []mach.Word{16384, 0xFFFFBFFF /* -16385 */, 0x80000000, 0x12345678, 0x00004000}
+	for _, v := range big {
+		if IsSmall(v) {
+			t.Errorf("IsSmall(%#x) = true, want false", v)
+		}
+	}
+}
+
+func TestSmallRangeMatchesConstants(t *testing.T) {
+	// The compressible small-value range quoted by the paper.
+	if SmallMin != -16384 || SmallMax != 16383 {
+		t.Fatalf("small range [%d, %d], want [-16384, 16383]", SmallMin, SmallMax)
+	}
+	lo, hi := int32(SmallMin), int32(SmallMax)
+	if !IsSmall(mach.Word(lo)) || !IsSmall(mach.Word(hi)) {
+		t.Error("range endpoints not compressible")
+	}
+	if IsSmall(mach.Word(lo-1)) || IsSmall(mach.Word(hi+1)) {
+		t.Error("values just outside range compressible")
+	}
+}
+
+func TestIsPointerLike(t *testing.T) {
+	// Same 32K chunk: top 17 bits agree.
+	if !IsPointerLike(0x10001234, 0x10004ABC) {
+		t.Error("pointers in same 32K chunk should be pointer-like")
+	}
+	// Different chunk.
+	if IsPointerLike(0x10001234, 0x10008000) {
+		t.Error("pointers in different 32K chunks should not be pointer-like")
+	}
+	if !IsPointerLike(0xDEADBEEF, 0xDEADBEEF) {
+		t.Error("a value equal to its own address is pointer-like")
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	f := func(v mach.Word, addr mach.Addr) bool {
+		c, ok := Compress(v, addr)
+		if ok != Compressible(v, addr) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return Decompress(c, addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripBiasedValues(t *testing.T) {
+	// quick.Check rarely generates small or pointer-like values; bias
+	// explicitly so both compression paths are exercised densely.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		addr := mach.Addr(rng.Uint32()) &^ 3
+		var v mach.Word
+		switch i % 3 {
+		case 0: // small
+			v = mach.Word(int32(rng.Intn(SmallMax-SmallMin+1) + SmallMin))
+		case 1: // pointer into the same chunk
+			v = (addr & prefixMask) | mach.Word(rng.Uint32())&payloadMask
+		default: // arbitrary
+			v = rng.Uint32()
+		}
+		c, ok := Compress(v, addr)
+		if !ok {
+			if Compressible(v, addr) {
+				t.Fatalf("Compress(%#x, %#x) failed but Compressible is true", v, addr)
+			}
+			continue
+		}
+		if got := Decompress(c, addr); got != v {
+			t.Fatalf("round trip %#x @ %#x: got %#x (VT=%v)", v, addr, got, c.IsPointer())
+		}
+	}
+}
+
+func TestCompressedFlags(t *testing.T) {
+	c, ok := Compress(42, 0x10000000)
+	if !ok || c.IsPointer() {
+		t.Errorf("42 should compress as a small value, got ok=%v pointer=%v", ok, c.IsPointer())
+	}
+	if c.Payload() != 42 {
+		t.Errorf("payload = %d, want 42", c.Payload())
+	}
+	// Pointer-only value: high bits match address, but not a small value.
+	c, ok = Compress(0x10001234, 0x10000000)
+	if !ok || !c.IsPointer() {
+		t.Errorf("0x10001234 @ 0x10000000 should compress as a pointer, got ok=%v pointer=%v", ok, c.IsPointer())
+	}
+}
+
+func TestIncompressible(t *testing.T) {
+	if _, ok := Compress(0x7FFFFFFF, 0x10000000); ok {
+		t.Error("large non-pointer value compressed")
+	}
+	if Compressible(0x40000000, 0x10000000) {
+		t.Error("Compressible accepted a big value with mismatched prefix")
+	}
+}
+
+func TestSmallPreferredOverPointer(t *testing.T) {
+	// Address with zero prefix: small zero value satisfies both rules.
+	// Reconstruction must be exact regardless of the rule applied.
+	addr := mach.Addr(0x00001000)
+	v := mach.Word(0x00000FFC)
+	c, ok := Compress(v, addr)
+	if !ok {
+		t.Fatal("value satisfying both rules did not compress")
+	}
+	if got := Decompress(c, addr); got != v {
+		t.Fatalf("got %#x, want %#x", got, v)
+	}
+}
+
+func TestDecompressNegativeSmall(t *testing.T) {
+	for _, s := range []int32{-1, -2, -16384, -9999} {
+		v := mach.Word(s)
+		c, ok := Compress(v, 0xABCD0000)
+		if !ok {
+			t.Fatalf("small negative %d did not compress", s)
+		}
+		if got := Decompress(c, 0xABCD0000); got != v {
+			t.Fatalf("negative %d round trip: got %#x want %#x", s, got, v)
+		}
+	}
+}
+
+func TestGateDelays(t *testing.T) {
+	// The paper's figures: 8 gate delays to compress, 2 to decompress.
+	if CompressDelayGates != 8 {
+		t.Errorf("CompressDelayGates = %d, want 8", CompressDelayGates)
+	}
+	if DecompressDelayGates != 2 {
+		t.Errorf("DecompressDelayGates = %d, want 2", DecompressDelayGates)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]mach.Word, 1024)
+	addrs := make([]mach.Addr, 1024)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+		addrs[i] = rng.Uint32() &^ 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(vals[i%1024], addrs[i%1024])
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	c, _ := Compress(42, 0)
+	for i := 0; i < b.N; i++ {
+		Decompress(c, mach.Addr(i))
+	}
+}
+
+func TestLineHalves(t *testing.T) {
+	// 2 compressible + 1 incompressible = 2*1 + 1*2 = 4 halves.
+	words := []mach.Word{1, 0xFFFFFFFE, 0xDEAD8001}
+	if got := LineHalves(words, 0x1000); got != 4 {
+		t.Errorf("LineHalves = %d, want 4", got)
+	}
+	if got := LineHalves(nil, 0); got != 0 {
+		t.Errorf("LineHalves(nil) = %d", got)
+	}
+	// A pointer compressible only relative to its own slot address.
+	ptr := []mach.Word{0x10001234}
+	if got := LineHalves(ptr, 0x10000000); got != 1 {
+		t.Errorf("pointer LineHalves = %d, want 1", got)
+	}
+	if got := LineHalves(ptr, 0x20000000); got != 2 {
+		t.Errorf("cross-chunk pointer LineHalves = %d, want 2", got)
+	}
+}
+
+func TestCountCompressible(t *testing.T) {
+	words := []mach.Word{1, 0xDEAD8001, 2, 0x70018000}
+	if got := CountCompressible(words, 0x1000); got != 2 {
+		t.Errorf("CountCompressible = %d, want 2", got)
+	}
+}
+
+func TestLineHalvesBounds(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]mach.Word, int(n%64)+1)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		base := mach.Addr(rng.Uint32()) &^ 3
+		h := LineHalves(words, base)
+		c := CountCompressible(words, base)
+		// h = c*1 + (len-c)*2, and c matches per-word checks.
+		return h == c+2*(len(words)-c) && c >= 0 && c <= len(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressibleWidth(t *testing.T) {
+	// Width 15 must agree with the paper's scheme everywhere.
+	f := func(v mach.Word, a mach.Addr) bool {
+		return CompressibleWidth(v, a, PayloadBits) == Compressible(v, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Monotonicity: anything compressible at width w stays compressible
+	// at width w+8.
+	g := func(v mach.Word, a mach.Addr) bool {
+		for _, w := range []int{7, 15, 23} {
+			if CompressibleWidth(v, a, w) && !CompressibleWidth(v, a, w+8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Degenerate widths.
+	if CompressibleWidth(5, 0, 0) {
+		t.Error("width 0 accepted a value")
+	}
+	if !CompressibleWidth(0xDEADBEEF, 0, 32) {
+		t.Error("width 32 should accept everything")
+	}
+	// Specific boundaries at width 7: small range is [-64, 63].
+	if !CompressibleWidth(63, 0x40000000, 7) || CompressibleWidth(64, 0x40000000, 7) {
+		t.Error("width-7 small boundary wrong")
+	}
+}

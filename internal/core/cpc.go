@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"cppcache/internal/cache"
+	"cppcache/internal/compress"
+	"cppcache/internal/mach"
+)
+
+// compressibleAt is a local alias to keep call sites short.
+func compressibleAt(v mach.Word, a mach.Addr) bool { return compress.Compressible(v, a) }
+
+// frame is one physical cache frame of the compression cache (Figure 7).
+// It hosts a primary line (tag) and, in the half-slots freed by compressed
+// primary words, compressible words of the affiliated line tag^mask.
+//
+// Storage is faithful to the hardware: a compressible primary word and any
+// affiliated word are held as 16-bit compressed values and decompressed
+// with the accessing address on each read.
+type frame struct {
+	valid bool
+	tag   mach.Addr // primary line number
+	dirty bool      // primary line dirty (affiliated copies are always clean)
+	used  uint64    // LRU timestamp
+
+	pa []bool // PA: primary word available
+	pc []bool // VCP: primary word stored compressed (implies pa)
+	aa []bool // AA: affiliated word present (implies pa && pc)
+
+	pd32 []mach.Word           // primary words stored uncompressed (pa && !pc)
+	pd16 []compress.Compressed // primary words stored compressed (pa && pc)
+	ad16 []compress.Compressed // affiliated words (aa)
+}
+
+func newFrame(words int) frame {
+	return frame{
+		pa:   make([]bool, words),
+		pc:   make([]bool, words),
+		aa:   make([]bool, words),
+		pd32: make([]mach.Word, words),
+		pd16: make([]compress.Compressed, words),
+		ad16: make([]compress.Compressed, words),
+	}
+}
+
+// clear invalidates the frame in place, preserving the allocated storage.
+func (f *frame) clear() {
+	f.valid = false
+	f.dirty = false
+	for i := range f.pa {
+		f.pa[i] = false
+		f.pc[i] = false
+		f.aa[i] = false
+	}
+}
+
+// readPrimary returns the primary word at slot w, whose byte address is a,
+// decompressing it if stored compressed. The caller must ensure pa[w].
+func (f *frame) readPrimary(w int, a mach.Addr) mach.Word {
+	if f.pc[w] {
+		return compress.Decompress(f.pd16[w], a)
+	}
+	return f.pd32[w]
+}
+
+// writePrimary stores v as the primary word at slot w (byte address a),
+// choosing the compressed or uncompressed form and updating VCP.
+// It does not touch the dirty bit or the affiliated half; callers handle
+// the compressible -> incompressible interaction.
+func (f *frame) writePrimary(w int, a mach.Addr, v mach.Word) {
+	if c, ok := compress.Compress(v, a); ok {
+		f.pc[w] = true
+		f.pd16[w] = c
+	} else {
+		f.pc[w] = false
+		f.pd32[w] = v
+	}
+	f.pa[w] = true
+}
+
+// readAff returns the affiliated word at slot w, whose byte address is a.
+// The caller must ensure aa[w].
+func (f *frame) readAff(w int, a mach.Addr) mach.Word {
+	return compress.Decompress(f.ad16[w], a)
+}
+
+// setAff stores v (which must be compressible at address a) into the
+// affiliated half-slot w.
+func (f *frame) setAff(w int, a mach.Addr, v mach.Word) {
+	c, ok := compress.Compress(v, a)
+	if !ok {
+		panic("core: setAff with incompressible value")
+	}
+	f.aa[w] = true
+	f.ad16[w] = c
+}
+
+// window is a partial line in transit: per-slot availability, logical
+// (uncompressed) values and compressibility flags. Transfers carry logical
+// values; each cache re-compresses on installation.
+type window struct {
+	present []bool
+	vals    []mach.Word
+	comp    []bool
+}
+
+func emptyWindow(words int) window {
+	return window{
+		present: make([]bool, words),
+		vals:    make([]mach.Word, words),
+		comp:    make([]bool, words),
+	}
+}
+
+// full reports whether every slot is present.
+func (w window) full() bool {
+	for _, p := range w.present {
+		if !p {
+			return false
+		}
+	}
+	return true
+}
+
+// count returns the number of present slots.
+func (w window) count() int {
+	n := 0
+	for _, p := range w.present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// evicted describes a primary line displaced by install.
+type evicted struct {
+	tag     mach.Addr
+	dirty   bool
+	present []bool
+	vals    []mach.Word
+}
+
+// cpc is one level of the compression cache: a set-associative array of
+// frames with true-LRU replacement and primary/affiliated lookup.
+type cpc struct {
+	p       cache.Params
+	geom    mach.LineGeom
+	mask    mach.Addr
+	setMask mach.Addr
+	sets    [][]frame
+	tick    uint64
+}
+
+func newCPC(p cache.Params, mask mach.Addr) (*cpc, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &cpc{
+		p:       p,
+		geom:    mach.LineGeom{LineBytes: p.LineBytes},
+		mask:    mask,
+		setMask: mach.Addr(p.Sets() - 1),
+	}
+	words := c.geom.Words()
+	c.sets = make([][]frame, p.Sets())
+	for i := range c.sets {
+		ways := make([]frame, p.Assoc)
+		for w := range ways {
+			ways[w] = newFrame(words)
+		}
+		c.sets[i] = ways
+	}
+	return c, nil
+}
+
+// frameByTag returns the frame whose primary line is n, or nil.
+func (c *cpc) frameByTag(n mach.Addr) *frame {
+	set := c.sets[int(n&c.setMask)]
+	for i := range set {
+		if set[i].valid && set[i].tag == n {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch marks the frame most recently used.
+func (c *cpc) touch(f *frame) {
+	c.tick++
+	f.used = c.tick
+}
+
+// victim selects the replacement frame in n's set: an invalid way if any,
+// else the least recently used.
+func (c *cpc) victim(n mach.Addr) *frame {
+	set := c.sets[int(n&c.setMask)]
+	best := &set[0]
+	for i := range set {
+		f := &set[i]
+		if !f.valid {
+			return f
+		}
+		if f.used < best.used {
+			best = f
+		}
+	}
+	return best
+}
+
+// wordAddr returns the byte address of word w of line n.
+func (c *cpc) wordAddr(n mach.Addr, w int) mach.Addr {
+	return c.geom.NumberToAddr(n) + mach.Addr(w*mach.WordBytes)
+}
+
+// install merges line n's payload pl into a resident partial frame, or
+// installs a fresh frame (choosing and extracting a victim). aff carries
+// prefetched words of line n^mask; they are accepted only into slots whose
+// primary word is present and compressible, and are discarded wholesale if
+// the partner line is primary-resident (§3.3: "the prefetched affiliated
+// line is discarded if it is already in the cache"). install returns the
+// displaced line, if any, for the hierarchy to write back and place.
+func (c *cpc) install(n mach.Addr, pl, aff window, prefCtr *int64) *evicted {
+	partner := n ^ c.mask
+	partnerResident := c.frameByTag(partner) != nil
+
+	f := c.frameByTag(n)
+	var ev *evicted
+	if f == nil {
+		f = c.victim(n)
+		if f.valid {
+			ev = &evicted{
+				tag:     f.tag,
+				dirty:   f.dirty,
+				present: append([]bool(nil), f.pa...),
+				vals:    make([]mach.Word, len(f.pa)),
+			}
+			for i, p := range f.pa {
+				if p {
+					ev.vals[i] = f.readPrimary(i, c.wordAddr(f.tag, i))
+				}
+			}
+			// Eviction also drops the frame's affiliated copies (of
+			// f.tag^mask); they are clean mirrors, safe to lose.
+		}
+		f.clear()
+		f.valid = true
+		f.tag = n
+		// The victim may have been the partner line itself; recompute.
+		partnerResident = c.frameByTag(partner) != nil
+	}
+
+	// Merge payload into empty slots only: resident words are newer
+	// (they may be dirty) than anything arriving from below.
+	for i, p := range pl.present {
+		if !p || f.pa[i] {
+			continue
+		}
+		f.writePrimary(i, c.wordAddr(n, i), pl.vals[i])
+	}
+
+	// An affiliated copy of n elsewhere is now redundant: n is primary.
+	// Salvage its words into still-missing slots first (they are clean
+	// mirrors, at least as fresh as the payload), then drop it.
+	if pf := c.frameByTag(partner); pf != nil {
+		for i, a := range pf.aa {
+			if !a {
+				continue
+			}
+			if !f.pa[i] {
+				f.writePrimary(i, c.wordAddr(n, i), pf.readAff(i, c.wordAddr(n, i)))
+			}
+			pf.aa[i] = false
+		}
+	}
+
+	// Accept affiliated prefetch data.
+	if !partnerResident {
+		prefetched := int64(0)
+		for i, p := range aff.present {
+			if !p || !f.pa[i] || !f.pc[i] || f.aa[i] {
+				continue
+			}
+			v := aff.vals[i]
+			a := c.wordAddr(partner, i)
+			if !compressibleAt(v, a) {
+				continue
+			}
+			f.setAff(i, a, v)
+			prefetched++
+		}
+		if prefCtr != nil {
+			*prefCtr += prefetched
+		}
+	}
+
+	c.touch(f)
+	return ev
+}
+
+// placeVictim salvages an evicted line's compressible words into its
+// affiliated place — the frame whose primary line is the victim's partner
+// — where that frame's primary words are present and compressible. Only a
+// clean partial copy is kept (§3.3). It reports whether any word was
+// placed.
+func (c *cpc) placeVictim(ev *evicted) bool {
+	target := c.frameByTag(ev.tag ^ c.mask)
+	if target == nil {
+		return false
+	}
+	placed := false
+	for i, p := range ev.present {
+		if !p || !target.pa[i] || !target.pc[i] {
+			continue
+		}
+		a := c.wordAddr(ev.tag, i)
+		if !compressibleAt(ev.vals[i], a) {
+			continue
+		}
+		target.setAff(i, a, ev.vals[i])
+		placed = true
+	}
+	return placed
+}
+
+// checkInvariants validates the structural invariants of the level.
+func (c *cpc) checkInvariants(level string) error {
+	for s := range c.sets {
+		seen := map[mach.Addr]bool{}
+		for w := range c.sets[s] {
+			f := &c.sets[s][w]
+			if !f.valid {
+				continue
+			}
+			if int(f.tag&c.setMask) != s {
+				return fmt.Errorf("%s: frame tag %#x in wrong set %d", level, f.tag, s)
+			}
+			if seen[f.tag] {
+				return fmt.Errorf("%s: duplicate primary line %#x in set %d", level, f.tag, s)
+			}
+			seen[f.tag] = true
+			for i := range f.pa {
+				if f.pc[i] && !f.pa[i] {
+					return fmt.Errorf("%s: line %#x word %d: VCP without PA", level, f.tag, i)
+				}
+				if f.aa[i] && !(f.pa[i] && f.pc[i]) {
+					return fmt.Errorf("%s: line %#x word %d: AA without compressible primary", level, f.tag, i)
+				}
+				if f.pa[i] && f.pc[i] {
+					v := f.readPrimary(i, c.wordAddr(f.tag, i))
+					if !compressibleAt(v, c.wordAddr(f.tag, i)) {
+						return fmt.Errorf("%s: line %#x word %d: compressed slot holds incompressible value %#x", level, f.tag, i, v)
+					}
+				}
+			}
+			// Single-copy: if this frame holds affiliated words of
+			// f.tag^mask, that line must not be primary-resident.
+			hasAff := false
+			for _, a := range f.aa {
+				if a {
+					hasAff = true
+					break
+				}
+			}
+			if hasAff && c.frameByTag(f.tag^c.mask) != nil {
+				return fmt.Errorf("%s: line %#x resident both as primary and as affiliated copy", level, f.tag^c.mask)
+			}
+		}
+	}
+	return nil
+}

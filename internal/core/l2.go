@@ -1,0 +1,185 @@
+package core
+
+import "cppcache/internal/mach"
+
+// probeL2Window returns the on-chip availability of L1 line n at the L2:
+// which of its words the L2 currently holds (as primary or affiliated
+// data), their logical values, and their compressibility. It never
+// triggers a fetch — the L1<->L2 interface is word-based and a partial
+// answer is acceptable (§3.1).
+func (h *Hierarchy) probeL2Window(n mach.Addr) window {
+	w, _ := h.probeL2WindowSrc(n)
+	return w
+}
+
+// probeL2WindowSrc is probeL2Window, also reporting whether the words came
+// from affiliated storage (for statistics).
+func (h *Hierarchy) probeL2WindowSrc(n mach.Addr) (window, bool) {
+	words := h.l1.geom.Words()
+	out := emptyWindow(words)
+	base := h.l1.geom.NumberToAddr(n)
+	N := h.l2.geom.LineNumber(base)
+	off := h.l2.geom.WordIndex(base)
+
+	if f := h.l2.frameByTag(N); f != nil {
+		for i := 0; i < words; i++ {
+			j := off + i
+			if !f.pa[j] {
+				continue
+			}
+			a := base + mach.Addr(i*mach.WordBytes)
+			out.present[i] = true
+			out.vals[i] = f.readPrimary(j, a)
+			out.comp[i] = f.pc[j]
+		}
+		return out, false
+	}
+	if af := h.l2.frameByTag(N ^ h.cfg.Mask); af != nil {
+		for i := 0; i < words; i++ {
+			j := off + i
+			if !af.aa[j] {
+				continue
+			}
+			a := base + mach.Addr(i*mach.WordBytes)
+			out.present[i] = true
+			out.vals[i] = af.readAff(j, a)
+			out.comp[i] = true // affiliated words are compressible by construction
+		}
+	}
+	return out, true
+}
+
+// serveFromL2 satisfies an L1 demand for word needWord of L1 line n.
+// If the word is on chip (primary or affiliated storage, possibly a
+// partial line), that is an L2 hit and only the available words are
+// returned (§3.1: "we do not always enforce a complete line from the L2
+// cache as long as the requested data item is found"). Otherwise the L2
+// fetches from memory. Returns the payload and the total latency.
+func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (window, int) {
+	h.stats.L2.Accesses++
+	pl, fromAff := h.probeL2WindowSrc(n)
+	if pl.present[needWord] {
+		if fromAff {
+			h.stats.AffHitsL2++
+		}
+		h.touchL2(n)
+		return pl, h.cfg.Lat.L2Hit
+	}
+	h.stats.L2.Misses++
+	base := h.l1.geom.NumberToAddr(n)
+	h.fetchL2FromMem(h.l2.geom.LineNumber(base))
+	pl = h.probeL2Window(n)
+	if !pl.present[needWord] {
+		panic("core: word absent after L2 memory fetch")
+	}
+	return pl, h.cfg.Lat.Mem
+}
+
+// touchL2 refreshes LRU state for the frame serving L1 line n.
+func (h *Hierarchy) touchL2(n mach.Addr) {
+	base := h.l1.geom.NumberToAddr(n)
+	N := h.l2.geom.LineNumber(base)
+	if f := h.l2.frameByTag(N); f != nil {
+		h.l2.touch(f)
+		return
+	}
+	if af := h.l2.frameByTag(N ^ h.cfg.Mask); af != nil {
+		h.l2.touch(af)
+	}
+}
+
+// fetchL2FromMem fetches L2 line N from memory together with its
+// affiliated line N^Mask (§3.3, L2-memory interface: "both the primary and
+// the affiliated lines are fetched. However, before returning the data,
+// the cache lines are compressed and only available places from the
+// primary line are used to store the compressible items from the
+// affiliated line. The memory bandwidth is still the same as before.").
+func (h *Hierarchy) fetchL2FromMem(N mach.Addr) {
+	words := h.l2.geom.Words()
+	base := h.l2.geom.NumberToAddr(N)
+	partner := N ^ h.cfg.Mask
+	pbase := h.l2.geom.NumberToAddr(partner)
+
+	data := make([]mach.Word, words)
+	h.mem.ReadLine(base, data)
+	affData := make([]mach.Word, words)
+	h.mem.ReadLine(pbase, affData)
+
+	// Bus cost: exactly one uncompressed line's worth of bandwidth; the
+	// affiliated words travel in the slack left by compressed words.
+	h.stats.MemReadHalves += int64(2 * words)
+
+	pl := emptyWindow(words)
+	aff := emptyWindow(words)
+	for i := 0; i < words; i++ {
+		a := base + mach.Addr(i*mach.WordBytes)
+		pl.present[i] = true
+		pl.vals[i] = data[i]
+		pl.comp[i] = compressibleAt(data[i], a)
+
+		pa := pbase + mach.Addr(i*mach.WordBytes)
+		if pl.comp[i] && compressibleAt(affData[i], pa) {
+			aff.present[i] = true
+			aff.vals[i] = affData[i]
+			aff.comp[i] = true
+		}
+	}
+
+	h.installL2(N, pl, aff)
+}
+
+// writebackL2Victim writes a dirty L2 victim's available words to memory.
+// The transfer is compressed: a compressible word costs one half-word on
+// the bus.
+func (h *Hierarchy) writebackL2Victim(ev *evicted) {
+	h.stats.L2.Writebacks++
+	base := h.l2.geom.NumberToAddr(ev.tag)
+	var halves int64
+	for i, p := range ev.present {
+		if !p {
+			continue
+		}
+		a := base + mach.Addr(i*mach.WordBytes)
+		h.mem.WriteWord(a, ev.vals[i])
+		if compressibleAt(ev.vals[i], a) {
+			halves++
+		} else {
+			halves += 2
+		}
+	}
+	h.stats.MemWriteHalves += halves
+}
+
+// CheckInvariants validates the structural invariants of both levels plus
+// the cross-level cleanliness rule. Tests call it periodically; it is not
+// used on the hot path.
+func (h *Hierarchy) CheckInvariants() error {
+	if err := h.l1.checkInvariants("L1"); err != nil {
+		return err
+	}
+	return h.l2.checkInvariants("L2")
+}
+
+// Drain flushes every dirty line down to memory, L1 first so the freshest
+// data wins. Diagnostic only: traffic is not accounted.
+func (h *Hierarchy) Drain() {
+	flush := func(c *cpc) {
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				f := &c.sets[s][w]
+				if !f.valid || !f.dirty {
+					continue
+				}
+				for i, p := range f.pa {
+					if p {
+						h.mem.WriteWord(c.wordAddr(f.tag, i), f.readPrimary(i, c.wordAddr(f.tag, i)))
+					}
+				}
+				f.dirty = false
+			}
+		}
+	}
+	// L2 first, then L1 overwrites with fresher words.
+	flush(h.l2)
+	flush(h.l1)
+}

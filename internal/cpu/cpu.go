@@ -1,0 +1,523 @@
+// Package cpu implements a cycle-stepped out-of-order processor core that
+// replays instruction traces, standing in for SimpleScalar 3.0's
+// sim-outorder (§4.1, Figure 9).
+//
+// The model covers the structures that drive the paper's experiments: a
+// 4-wide fetch/issue/commit pipeline with a 16-entry instruction fetch
+// queue, a register-update-unit-style reorder buffer, an 8-entry
+// load/store queue with store-to-load forwarding, a bimodal branch
+// predictor, an instruction cache, the functional-unit mix of Figure 9,
+// and a data-cache hierarchy behind the memsys.System interface.
+//
+// Timing statistics exposed for the experiments: total cycles (Figures 11
+// and 14) and the average ready-queue length during cycles with at least
+// one outstanding data-cache miss (Figure 15).
+package cpu
+
+import (
+	"fmt"
+
+	"cppcache/internal/isa"
+	"cppcache/internal/mach"
+	"cppcache/internal/memsys"
+)
+
+// Params configures the core. The zero value is not useful; start from
+// DefaultParams.
+type Params struct {
+	FetchWidth  int // instructions fetched per cycle
+	IssueWidth  int // instructions issued per cycle (4, out-of-order)
+	CommitWidth int // instructions committed per cycle
+	IFQSize     int // instruction fetch queue entries (16)
+	ROBSize     int // reorder buffer (RUU) entries
+	LSQSize     int // load/store queue entries (8)
+
+	IntALU   int // integer ALUs (4)
+	IntMult  int // integer multiplier/dividers (1)
+	FPALU    int // floating-point adders (4)
+	FPMult   int // floating-point multiplier/dividers (1)
+	MemPorts int // cache ports (2)
+
+	BranchPredBits    int // log2 of bimod table entries
+	MispredictPenalty int // front-end refill cycles after a mispredict
+
+	ICacheLines   int // direct-mapped I-cache size in lines
+	ICacheLineSz  int // I-cache line size in bytes
+	ICacheHitLat  int // 1 cycle
+	ICacheMissLat int // 10 cycles
+
+	// Latencies of non-memory operations, in cycles.
+	MulLat, DivLat, FALULat, FMulLat, FDivLat int
+
+	// MissThreshold classifies a data access as an outstanding miss when
+	// its latency exceeds this many cycles. 2 covers both an L1 primary
+	// hit (1) and a CPP affiliated-line hit (2).
+	MissThreshold int
+}
+
+// DefaultParams returns the paper's baseline core (Figure 9).
+func DefaultParams() Params {
+	return Params{
+		FetchWidth:  4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		IFQSize:     16,
+		ROBSize:     64,
+		LSQSize:     8,
+
+		IntALU:   4,
+		IntMult:  1,
+		FPALU:    4,
+		FPMult:   1,
+		MemPorts: 2,
+
+		BranchPredBits:    11, // 2K-entry bimod
+		MispredictPenalty: 3,
+
+		ICacheLines:   256, // 8K direct-mapped, 32B lines
+		ICacheLineSz:  32,
+		ICacheHitLat:  1,
+		ICacheMissLat: 10,
+
+		MulLat:  3,
+		DivLat:  20,
+		FALULat: 2,
+		FMulLat: 4,
+		FDivLat: 12,
+
+		MissThreshold: 2,
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.FetchWidth < 1 || p.IssueWidth < 1 || p.CommitWidth < 1:
+		return fmt.Errorf("cpu: widths must be at least 1")
+	case p.IFQSize < 1 || p.ROBSize < 1 || p.LSQSize < 1:
+		return fmt.Errorf("cpu: queue sizes must be at least 1")
+	case p.IntALU < 1 || p.MemPorts < 1:
+		return fmt.Errorf("cpu: need at least one ALU and one memory port")
+	case p.BranchPredBits < 1 || p.BranchPredBits > 24:
+		return fmt.Errorf("cpu: branch predictor bits out of range")
+	case !mach.IsPow2(p.ICacheLines) || !mach.IsPow2(p.ICacheLineSz):
+		return fmt.Errorf("cpu: I-cache geometry must be powers of two")
+	}
+	return nil
+}
+
+// Result summarises one simulated run.
+type Result struct {
+	Cycles       int64
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	Branches     int64
+	Mispredicts  int64
+
+	ICacheAccesses int64
+	ICacheMisses   int64
+
+	// ValueMismatches counts loads whose hierarchy-returned value did not
+	// match the trace's expected value: a functional-correctness check of
+	// the cache model (always 0 for a healthy hierarchy).
+	ValueMismatches int64
+
+	// Ready-queue instrumentation (Figure 15): the summed length of the
+	// ready queue over cycles with >= 1 outstanding data-cache miss, and
+	// the number of such cycles.
+	MissCycles        int64
+	ReadyQueueInMiss  int64
+	ReadyQueueSamples int64 // == MissCycles (kept for clarity)
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// AvgReadyQueueInMiss returns the average ready-queue length during cycles
+// with at least one outstanding data-cache miss.
+func (r Result) AvgReadyQueueInMiss() float64 {
+	if r.MissCycles == 0 {
+		return 0
+	}
+	return float64(r.ReadyQueueInMiss) / float64(r.MissCycles)
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	in         isa.Inst
+	idx        int64 // dynamic instruction number
+	issued     bool
+	done       bool
+	lsqBlocked bool
+	doneAt     int64 // cycle the result is available
+	isMiss     bool  // memory op whose latency exceeded an L1 hit
+	fetchedAt  int64 // cycle the instruction left fetch (for IFQ modeling)
+}
+
+// Core is the simulated processor. Create with New; a Core is single-use:
+// Run consumes the stream once.
+type Core struct {
+	p    Params
+	d    memsys.System
+	pred *bimod
+	ic   *icache
+}
+
+// New builds a core over the given data-memory hierarchy.
+func New(p Params, d memsys.System) (*Core, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{
+		p:    p,
+		d:    d,
+		pred: newBimod(p.BranchPredBits),
+		ic:   newICache(p.ICacheLines, p.ICacheLineSz),
+	}, nil
+}
+
+// Run replays the stream to completion and returns timing statistics.
+func (c *Core) Run(s isa.Stream) Result {
+	s.Reset()
+	var (
+		res             Result
+		cycle           int64
+		memOps          []*robEntry             // scratch, reused each cycle
+		rob             []*robEntry             // in program order; head = oldest
+		ifq             []*robEntry             // fetched, not yet dispatched
+		lastWriter      = map[int32]*robEntry{} // virtual reg -> producing entry
+		fetchStallUntil int64                   // front-end blocked until this cycle (mispredict)
+		fetchDone       bool
+		instSeq         int64
+	)
+
+	// Drain loop: run until the stream is exhausted and the ROB is empty.
+	for !fetchDone || len(rob) > 0 || len(ifq) > 0 {
+		cycle++
+		if cycle > 1<<40 {
+			panic("cpu: simulation did not converge")
+		}
+
+		// --- Commit: retire completed instructions in order. ---
+		committed := 0
+		for len(rob) > 0 && committed < c.p.CommitWidth {
+			head := rob[0]
+			if !head.done || head.doneAt > cycle {
+				break
+			}
+			if lastWriter[head.in.Dest] == head {
+				delete(lastWriter, head.in.Dest)
+			}
+			rob = rob[1:]
+			committed++
+			res.Instructions++
+		}
+
+		// --- Issue: wake and select ready instructions, oldest first. ---
+		fu := fuPool{
+			ialu: c.p.IntALU, imult: c.p.IntMult,
+			falu: c.p.FPALU, fmult: c.p.FPMult,
+			mem: c.p.MemPorts,
+		}
+		issued := 0
+		readyNotIssued := 0
+		// Pre-scan the LSQ ordering: a memory op must wait for every
+		// older memory op to the same word when either is a store
+		// (conservative disambiguation with exact addresses).
+		memOps = memOps[:0]
+		for _, e := range rob {
+			if e.in.Op.IsMem() {
+				memOps = append(memOps, e)
+			}
+		}
+		for i, e := range memOps {
+			e.lsqBlocked = false
+			if e.issued {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				o := memOps[j]
+				if mach.WordAlign(o.in.Addr) != mach.WordAlign(e.in.Addr) {
+					continue
+				}
+				conflict := o.in.Op == isa.OpStore || e.in.Op == isa.OpStore
+				if conflict && (!o.done || o.doneAt > cycle) {
+					e.lsqBlocked = true
+					break
+				}
+			}
+		}
+
+		for _, e := range rob {
+			if e.issued {
+				continue
+			}
+			if !c.ready(e, cycle, lastWriter, rob) {
+				continue
+			}
+			// The instruction sits in the ready queue this cycle,
+			// whether or not it wins an issue slot (the paper's
+			// Figure 15 metric counts the queue at selection time).
+			readyNotIssued++
+			if e.lsqBlocked {
+				continue
+			}
+			if issued >= c.p.IssueWidth || !fu.take(e.in.Op) {
+				continue
+			}
+			c.execute(e, cycle, &res)
+			issued++
+		}
+
+		// --- Dispatch: IFQ -> ROB/LSQ. ---
+		dispatched := 0
+		for len(ifq) > 0 && dispatched < c.p.IssueWidth && len(rob) < c.p.ROBSize {
+			e := ifq[0]
+			if e.in.Op.IsMem() && c.lsqCount(rob) >= c.p.LSQSize {
+				break
+			}
+			ifq = ifq[1:]
+			rob = append(rob, e)
+			if e.in.Dest != isa.NoReg {
+				lastWriter[e.in.Dest] = e
+			}
+			dispatched++
+		}
+
+		// --- Fetch: instructions -> IFQ, stalling on mispredicts and
+		// I-cache misses. ---
+		if cycle >= fetchStallUntil && !fetchDone {
+			fetched := 0
+			for fetched < c.p.FetchWidth && len(ifq) < c.p.IFQSize {
+				in, ok := s.Next()
+				if !ok {
+					fetchDone = true
+					break
+				}
+				res.ICacheAccesses++
+				if !c.ic.access(in.PC) {
+					res.ICacheMisses++
+					fetchStallUntil = cycle + int64(c.p.ICacheMissLat-c.p.ICacheHitLat)
+				}
+				e := &robEntry{in: in, idx: instSeq, fetchedAt: cycle}
+				instSeq++
+				ifq = append(ifq, e)
+				if in.Op == isa.OpBranch {
+					res.Branches++
+					if c.pred.predict(in.PC) != in.Taken {
+						res.Mispredicts++
+						// Fetch resumes after the branch resolves;
+						// resolution is detected at issue time below.
+						e.isMiss = false
+						fetchStallUntil = 1 << 40 // blocked until resolve
+					}
+					c.pred.update(in.PC, in.Taken)
+					if fetchStallUntil > cycle {
+						break
+					}
+				}
+				if fetchStallUntil > cycle {
+					break
+				}
+			}
+		}
+		// Resolve mispredict stalls: when the youngest unresolved branch
+		// completes, the front end restarts after the penalty.
+		if fetchStallUntil == 1<<40 {
+			resolved := true
+			var resolveAt int64
+			for _, e := range append(append([]*robEntry{}, rob...), ifq...) {
+				if e.in.Op == isa.OpBranch && (!e.done || e.doneAt > cycle) {
+					resolved = false
+					break
+				}
+				if e.in.Op == isa.OpBranch && e.doneAt > resolveAt {
+					resolveAt = e.doneAt
+				}
+			}
+			if resolved {
+				fetchStallUntil = resolveAt + int64(c.p.MispredictPenalty)
+			}
+		}
+
+		// --- Instrumentation: ready-queue length during miss cycles. ---
+		missOutstanding := false
+		for _, e := range rob {
+			if e.issued && e.isMiss && e.doneAt > cycle {
+				missOutstanding = true
+				break
+			}
+		}
+		if missOutstanding {
+			res.MissCycles++
+			res.ReadyQueueSamples++
+			res.ReadyQueueInMiss += int64(readyNotIssued)
+		}
+	}
+
+	res.Cycles = cycle
+	return res
+}
+
+// ready reports whether e's register operands are available at cycle.
+func (c *Core) ready(e *robEntry, cycle int64, lastWriter map[int32]*robEntry, rob []*robEntry) bool {
+	for _, src := range [2]int32{e.in.Src1, e.in.Src2} {
+		if src == isa.NoReg {
+			continue
+		}
+		w, ok := lastWriter[src]
+		if !ok || w == e {
+			continue // produced by a committed instruction
+		}
+		if w.idx >= e.idx {
+			continue // writer is younger: e reads the committed older value
+		}
+		if !w.done || w.doneAt > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// execute issues e at cycle, computing its completion time.
+func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
+	var lat int
+	switch e.in.Op {
+	case isa.OpLoad:
+		v, l := c.d.Read(e.in.Addr)
+		if v != e.in.Value {
+			res.ValueMismatches++
+		}
+		res.Loads++
+		lat = l
+		e.isMiss = l > c.p.MissThreshold
+	case isa.OpStore:
+		l := c.d.Write(e.in.Addr, e.in.Value)
+		res.Stores++
+		lat = l
+		e.isMiss = l > c.p.MissThreshold
+	case isa.OpALU, isa.OpNop, isa.OpBranch:
+		lat = 1
+	case isa.OpMul:
+		lat = c.p.MulLat
+	case isa.OpDiv:
+		lat = c.p.DivLat
+	case isa.OpFALU:
+		lat = c.p.FALULat
+	case isa.OpFMul:
+		lat = c.p.FMulLat
+	case isa.OpFDiv:
+		lat = c.p.FDivLat
+	default:
+		lat = 1
+	}
+	e.issued = true
+	e.done = true
+	e.doneAt = cycle + int64(lat)
+}
+
+// lsqCount returns the number of memory operations resident in the ROB
+// that have not yet completed (the LSQ occupancy).
+func (c *Core) lsqCount(rob []*robEntry) int {
+	n := 0
+	for _, e := range rob {
+		if e.in.Op.IsMem() && !e.done {
+			n++
+		}
+	}
+	return n
+}
+
+// fuPool tracks per-cycle functional-unit availability.
+type fuPool struct {
+	ialu, imult, falu, fmult, mem int
+}
+
+func (f *fuPool) take(op isa.Op) bool {
+	var slot *int
+	switch op {
+	case isa.OpALU, isa.OpBranch, isa.OpNop:
+		slot = &f.ialu
+	case isa.OpMul, isa.OpDiv:
+		slot = &f.imult
+	case isa.OpFALU:
+		slot = &f.falu
+	case isa.OpFMul, isa.OpFDiv:
+		slot = &f.fmult
+	case isa.OpLoad, isa.OpStore:
+		slot = &f.mem
+	default:
+		slot = &f.ialu
+	}
+	if *slot == 0 {
+		return false
+	}
+	*slot--
+	return true
+}
+
+// bimod is SimpleScalar's bimodal predictor: a table of 2-bit saturating
+// counters indexed by PC.
+type bimod struct {
+	table []uint8
+	mask  mach.Addr
+}
+
+func newBimod(bits int) *bimod {
+	n := 1 << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &bimod{table: t, mask: mach.Addr(n - 1)}
+}
+
+func (b *bimod) index(pc mach.Addr) int { return int((pc >> 2) & b.mask) }
+
+func (b *bimod) predict(pc mach.Addr) bool { return b.table[b.index(pc)] >= 2 }
+
+func (b *bimod) update(pc mach.Addr, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}
+
+// icache is a direct-mapped instruction cache over the PC stream.
+type icache struct {
+	tags  []mach.Addr
+	valid []bool
+	geom  mach.LineGeom
+	mask  mach.Addr
+}
+
+func newICache(lines, lineBytes int) *icache {
+	return &icache{
+		tags:  make([]mach.Addr, lines),
+		valid: make([]bool, lines),
+		geom:  mach.LineGeom{LineBytes: lineBytes},
+		mask:  mach.Addr(lines - 1),
+	}
+}
+
+// access returns true on hit, filling on miss.
+func (ic *icache) access(pc mach.Addr) bool {
+	n := ic.geom.LineNumber(pc)
+	i := int(n & ic.mask)
+	if ic.valid[i] && ic.tags[i] == n {
+		return true
+	}
+	ic.valid[i] = true
+	ic.tags[i] = n
+	return false
+}

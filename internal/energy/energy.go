@@ -1,0 +1,93 @@
+// Package energy estimates the dynamic energy of a simulated run from the
+// hierarchy's event counts. The paper's related work (§5) observes that
+// data compression had until then been adapted into caches "mainly for
+// reducing power consumption"; this model lets the five configurations be
+// compared on that axis too.
+//
+// The estimate is a simple linear event model: each L1 access, L2 access,
+// bus half-word transfer and DRAM access costs a fixed energy. The
+// default coefficients are CACTI-class order-of-magnitude values for a
+// 2003-era 0.13um process; they are knobs, not measurements — only the
+// relative comparison between configurations is meaningful, which is all
+// the experiments use.
+package energy
+
+import (
+	"fmt"
+
+	"cppcache/internal/memsys"
+)
+
+// Params holds per-event energies in picojoules.
+type Params struct {
+	L1AccessPJ   float64 // per L1 read/write (tag + data)
+	L2AccessPJ   float64 // per L2 access
+	BusHalfPJ    float64 // per 16-bit half-word on the off-chip bus
+	MemAccessPJ  float64 // per DRAM line access (activate + transfer overhead)
+	CompressPJ   float64 // per word compressed or decompressed
+	ExtraFlagsPJ float64 // per L1 access, CPP's 3-bits-per-word overhead (~10% array growth)
+}
+
+// Default returns the reference coefficients.
+func Default() Params {
+	return Params{
+		L1AccessPJ:   20,
+		L2AccessPJ:   120,
+		BusHalfPJ:    16,
+		MemAccessPJ:  2200,
+		CompressPJ:   1.5,
+		ExtraFlagsPJ: 2,
+	}
+}
+
+// Breakdown is an energy estimate in nanojoules, by component.
+type Breakdown struct {
+	L1NJ    float64
+	L2NJ    float64
+	BusNJ   float64
+	MemNJ   float64
+	CodecNJ float64 // compressor/decompressor activity
+	TotalNJ float64
+}
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total %.1f nJ (L1 %.1f, L2 %.1f, bus %.1f, mem %.1f, codec %.1f)",
+		b.TotalNJ, b.L1NJ, b.L2NJ, b.BusNJ, b.MemNJ, b.CodecNJ)
+}
+
+// Estimate computes the breakdown for a run's statistics. compressing
+// marks configurations with compressor hardware (BCC, LCC, CPP): they pay
+// codec energy on traffic and, for CPP, the per-word flag overhead.
+func Estimate(s *memsys.Stats, p Params, compressing bool, cppFlags bool) Breakdown {
+	var b Breakdown
+	b.L1NJ = float64(s.L1.Accesses) * p.L1AccessPJ / 1000
+	if cppFlags {
+		b.L1NJ += float64(s.L1.Accesses) * p.ExtraFlagsPJ / 1000
+	}
+	l2Events := s.L2.Accesses + s.L2.Writebacks + s.L1.Writebacks
+	b.L2NJ = float64(l2Events) * p.L2AccessPJ / 1000
+	halves := s.MemReadHalves + s.MemWriteHalves
+	b.BusNJ = float64(halves) * p.BusHalfPJ / 1000
+	memEvents := s.L2.Misses + s.L2.Writebacks + s.PfIssuedL1 + s.PfIssuedL2
+	b.MemNJ = float64(memEvents) * p.MemAccessPJ / 1000
+	if compressing {
+		// Every transferred half-word passed through the codec once;
+		// approximate words as halves/2.
+		b.CodecNJ = float64(halves) / 2 * p.CompressPJ / 1000
+	}
+	b.TotalNJ = b.L1NJ + b.L2NJ + b.BusNJ + b.MemNJ + b.CodecNJ
+	return b
+}
+
+// ForConfig returns the Estimate flags for a configuration name.
+func ForConfig(name string) (compressing, cppFlags bool) {
+	switch name {
+	case "BCC", "LCC":
+		return true, false
+	case "CPP":
+		return true, true
+	default:
+		return false, false
+	}
+}

@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"cppcache/internal/memsys"
+)
+
+func sampleStats() *memsys.Stats {
+	return &memsys.Stats{
+		L1:             memsys.LevelStats{Accesses: 1000, Misses: 100, Writebacks: 10},
+		L2:             memsys.LevelStats{Accesses: 100, Misses: 20, Writebacks: 5},
+		MemReadHalves:  640,
+		MemWriteHalves: 160,
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	p := Default()
+	b := Estimate(sampleStats(), p, false, false)
+	if b.L1NJ != 1000*p.L1AccessPJ/1000 {
+		t.Errorf("L1NJ = %v", b.L1NJ)
+	}
+	if b.CodecNJ != 0 {
+		t.Errorf("non-compressing config has codec energy %v", b.CodecNJ)
+	}
+	want := b.L1NJ + b.L2NJ + b.BusNJ + b.MemNJ
+	if b.TotalNJ != want {
+		t.Errorf("TotalNJ = %v, want %v", b.TotalNJ, want)
+	}
+}
+
+func TestCompressingPaysCodec(t *testing.T) {
+	s := sampleStats()
+	plain := Estimate(s, Default(), false, false)
+	comp := Estimate(s, Default(), true, false)
+	if comp.CodecNJ <= 0 || comp.TotalNJ <= plain.TotalNJ {
+		t.Errorf("compressing estimate %v not above plain %v", comp.TotalNJ, plain.TotalNJ)
+	}
+	cpp := Estimate(s, Default(), true, true)
+	if cpp.L1NJ <= comp.L1NJ {
+		t.Error("CPP flag overhead not charged")
+	}
+}
+
+func TestLessTrafficLessEnergy(t *testing.T) {
+	a := sampleStats()
+	b := sampleStats()
+	b.MemReadHalves /= 2
+	b.L2.Misses /= 2
+	ea := Estimate(a, Default(), true, false)
+	eb := Estimate(b, Default(), true, false)
+	if eb.TotalNJ >= ea.TotalNJ {
+		t.Errorf("halved traffic did not reduce energy: %v vs %v", eb.TotalNJ, ea.TotalNJ)
+	}
+}
+
+func TestForConfig(t *testing.T) {
+	cases := map[string][2]bool{
+		"BC": {false, false}, "HAC": {false, false}, "BCP": {false, false},
+		"BCC": {true, false}, "LCC": {true, false}, "CPP": {true, true},
+	}
+	for name, want := range cases {
+		c, f := ForConfig(name)
+		if c != want[0] || f != want[1] {
+			t.Errorf("ForConfig(%s) = %v,%v", name, c, f)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	b := Estimate(sampleStats(), Default(), true, true)
+	s := b.String()
+	if !strings.Contains(s, "total") || !strings.Contains(s, "codec") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,229 @@
+// Package hier implements the conventional two-level cache hierarchies the
+// paper compares against (§4.1):
+//
+//   - BC:  baseline — 8K direct-mapped L1 (64 B lines), 64K 2-way L2
+//     (128 B lines), write-back, write-allocate.
+//   - BCC: BC plus compressors/decompressors at the L2/memory interface;
+//     identical timing and miss behaviour, but off-chip transfers are
+//     compressed (the paper: "BC and BCC have the same performance since
+//     BCC only changes the format in which data is stored and
+//     transmitted").
+//   - HAC: higher-associativity cache — 2-way L1, 4-way L2, same sizes.
+//   - BCP: BC plus hardware prefetch-on-miss with an 8-entry fully
+//     associative L1 prefetch buffer and a 32-entry L2 prefetch buffer
+//     (implemented in prefetch.go).
+package hier
+
+import (
+	"fmt"
+
+	"cppcache/internal/cache"
+	"cppcache/internal/compress"
+	"cppcache/internal/mach"
+	"cppcache/internal/mem"
+	"cppcache/internal/memsys"
+)
+
+// Config describes a conventional two-level hierarchy.
+type Config struct {
+	Name            string
+	L1, L2          cache.Params
+	Lat             memsys.Latencies
+	CompressTraffic bool // BCC: count off-chip transfers compressed
+}
+
+// BaselineConfig returns the paper's BC configuration.
+func BaselineConfig() Config {
+	return Config{
+		Name: "BC",
+		L1:   cache.Params{SizeBytes: 8 << 10, Assoc: 1, LineBytes: 64},
+		L2:   cache.Params{SizeBytes: 64 << 10, Assoc: 2, LineBytes: 128},
+		Lat:  memsys.DefaultLatencies(),
+	}
+}
+
+// CompressedConfig returns the BCC configuration: BC with compressed
+// off-chip transfers.
+func CompressedConfig() Config {
+	c := BaselineConfig()
+	c.Name = "BCC"
+	c.CompressTraffic = true
+	return c
+}
+
+// HighAssocConfig returns the HAC configuration: double associativity at
+// both levels.
+func HighAssocConfig() Config {
+	c := BaselineConfig()
+	c.Name = "HAC"
+	c.L1.Assoc = 2
+	c.L2.Assoc = 4
+	return c
+}
+
+// Standard is a conventional two-level write-back hierarchy (BC, BCC, HAC).
+type Standard struct {
+	cfg   Config
+	l1    *cache.Cache
+	l2    *cache.Cache
+	mem   *mem.Memory
+	stats memsys.Stats
+	g1    mach.LineGeom
+	g2    mach.LineGeom
+}
+
+var _ memsys.System = (*Standard)(nil)
+
+// NewStandard builds a Standard hierarchy over main memory m.
+func NewStandard(cfg Config, m *mem.Memory) (*Standard, error) {
+	if cfg.L2.LineBytes < cfg.L1.LineBytes {
+		return nil, fmt.Errorf("hier: L2 line (%d B) smaller than L1 line (%d B)", cfg.L2.LineBytes, cfg.L1.LineBytes)
+	}
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("hier: L1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("hier: L2: %w", err)
+	}
+	return &Standard{
+		cfg: cfg, l1: l1, l2: l2, mem: m,
+		g1: l1.Geom(), g2: l2.Geom(),
+	}, nil
+}
+
+// Name implements memsys.System.
+func (h *Standard) Name() string { return h.cfg.Name }
+
+// Stats implements memsys.System.
+func (h *Standard) Stats() *memsys.Stats { return &h.stats }
+
+// lineHalves returns the bus cost of a line transfer in half-words,
+// honouring the configuration's compression setting.
+func (h *Standard) lineHalves(words []mach.Word, base mach.Addr) int64 {
+	if h.cfg.CompressTraffic {
+		return int64(compress.LineHalves(words, base))
+	}
+	return int64(2 * len(words))
+}
+
+// memFetchL2 reads the L2 line holding a from memory, accounting traffic.
+func (h *Standard) memFetchL2(a mach.Addr) []mach.Word {
+	base := h.g2.LineAddr(a)
+	data := make([]mach.Word, h.g2.Words())
+	h.mem.ReadLine(base, data)
+	h.stats.MemReadHalves += h.lineHalves(data, base)
+	return data
+}
+
+// memWriteback writes a dirty line's words to memory, accounting traffic.
+func (h *Standard) memWriteback(base mach.Addr, words []mach.Word) {
+	h.mem.WriteLine(base, words)
+	h.stats.MemWriteHalves += h.lineHalves(words, base)
+}
+
+// l2Writeback handles a dirty L1 victim: merge into L2 if resident there,
+// otherwise write through to memory.
+func (h *Standard) l2Writeback(ev cache.Evicted) {
+	h.stats.L1.Writebacks++
+	base := h.g1.NumberToAddr(ev.Tag)
+	if l2line := h.l2.Probe(base); l2line != nil {
+		off := h.g2.WordIndex(base)
+		copy(l2line.Data[off:off+len(ev.Data)], ev.Data)
+		l2line.Dirty = true
+		return
+	}
+	h.memWriteback(base, ev.Data)
+}
+
+// fillL2 installs an L2 line fetched from memory, handling the victim.
+func (h *Standard) fillL2(a mach.Addr, data []mach.Word) {
+	ev := h.l2.Fill(a, data)
+	if ev.Valid && ev.Dirty {
+		h.stats.L2.Writebacks++
+		h.memWriteback(h.g2.NumberToAddr(ev.Tag), ev.Data)
+	}
+}
+
+// fetchIntoL1 brings the L1 line holding a into L1 and returns the total
+// access latency. The L1 miss has already been counted by the caller.
+func (h *Standard) fetchIntoL1(a mach.Addr) int {
+	h.stats.L2.Accesses++
+	lat := h.cfg.Lat.L2Hit
+	l2line := h.l2.Access(a)
+	if l2line == nil {
+		h.stats.L2.Misses++
+		h.fillL2(a, h.memFetchL2(a))
+		l2line = h.l2.Probe(a)
+		lat = h.cfg.Lat.Mem
+	}
+	base := h.g1.LineAddr(a)
+	off := h.g2.WordIndex(base)
+	window := l2line.Data[off : off+h.g1.Words()]
+	ev := h.l1.Fill(a, window)
+	if ev.Valid && ev.Dirty {
+		h.l2Writeback(ev)
+	}
+	return lat
+}
+
+// Read implements memsys.System.
+func (h *Standard) Read(a mach.Addr) (mach.Word, int) {
+	a = mach.WordAlign(a)
+	h.stats.L1.Accesses++
+	if v, ok := h.l1.ReadWord(a); ok {
+		return v, h.cfg.Lat.L1Hit
+	}
+	h.stats.L1.Misses++
+	lat := h.fetchIntoL1(a)
+	v, ok := h.l1.ReadWord(a)
+	if !ok {
+		panic("hier: word absent after fill")
+	}
+	return v, lat
+}
+
+// Write implements memsys.System.
+func (h *Standard) Write(a mach.Addr, v mach.Word) int {
+	a = mach.WordAlign(a)
+	h.stats.L1.Accesses++
+	if h.l1.WriteWord(a, v) {
+		return h.cfg.Lat.L1Hit
+	}
+	h.stats.L1.Misses++
+	lat := h.fetchIntoL1(a)
+	if !h.l1.WriteWord(a, v) {
+		panic("hier: word absent after fill on write")
+	}
+	return lat
+}
+
+// Drain flushes every dirty line down to memory. Used by tests to compare
+// the hierarchy's final state against a reference memory image.
+func (h *Standard) Drain() {
+	h.l1.Lines(func(_ int, l *cache.Line) {
+		if l.Dirty {
+			h.mem.WriteLine(l.Addr(h.g1), l.Data) // bypass traffic accounting: diagnostic flush
+			l.Dirty = false
+		}
+	})
+	h.l2.Lines(func(_ int, l *cache.Line) {
+		if l.Dirty {
+			base := l.Addr(h.g2)
+			// L1 held fresher data for any line it owned; only write L2
+			// words whose line is not dirty in L1. The L1 pass above
+			// already cleaned those, so a straight write is stale for
+			// overlapping words. Re-read the L1 copy to preserve it.
+			data := append([]mach.Word(nil), l.Data...)
+			for i := 0; i < len(data); i += h.g1.Words() {
+				sub := base + mach.Addr(i*mach.WordBytes)
+				if l1l := h.l1.Probe(sub); l1l != nil {
+					copy(data[i:i+h.g1.Words()], l1l.Data)
+				}
+			}
+			h.mem.WriteLine(base, data)
+			l.Dirty = false
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "nop", OpALU: "alu", OpMul: "mul", OpDiv: "div",
+		OpFALU: "falu", OpFMul: "fmul", OpFDiv: "fdiv",
+		OpLoad: "load", OpStore: "store", OpBranch: "branch",
+		Op(200): "op?",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("load/store should be memory ops")
+	}
+	for _, op := range []Op{OpNop, OpALU, OpMul, OpBranch, OpFALU} {
+		if op.IsMem() {
+			t.Errorf("%v should not be a memory op", op)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	insts := []Inst{
+		{Op: OpALU, Dest: 0},
+		{Op: OpLoad, Dest: 1, Src1: 0, Addr: 0x100},
+		{Op: OpBranch, Src1: 1, Taken: true},
+	}
+	s := NewSliceStream(insts)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i := 0; i < 2; i++ { // two passes to exercise Reset
+		var got []Inst
+		for {
+			in, ok := s.Next()
+			if !ok {
+				break
+			}
+			got = append(got, in)
+		}
+		if len(got) != 3 || got[1].Addr != 0x100 || !got[2].Taken {
+			t.Fatalf("pass %d: got %+v", i, got)
+		}
+		s.Reset()
+	}
+}
+
+func TestCountMix(t *testing.T) {
+	insts := []Inst{
+		{Op: OpALU}, {Op: OpALU}, {Op: OpLoad}, {Op: OpStore}, {Op: OpBranch},
+	}
+	s := NewSliceStream(insts)
+	_, _ = s.Next() // CountMix must Reset before counting
+	m := CountMix(s)
+	if m.Total != 5 {
+		t.Fatalf("Total = %d, want 5", m.Total)
+	}
+	if got := m.Frac(OpALU); got != 0.4 {
+		t.Errorf("Frac(ALU) = %v, want 0.4", got)
+	}
+	if got := m.Frac(OpLoad); got != 0.2 {
+		t.Errorf("Frac(Load) = %v, want 0.2", got)
+	}
+	// Stream is reset for the caller afterwards.
+	if in, ok := s.Next(); !ok || in.Op != OpALU {
+		t.Error("CountMix did not reset the stream")
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	var m Mix
+	if m.Frac(OpALU) != 0 {
+		t.Error("empty mix should report 0 fractions")
+	}
+}

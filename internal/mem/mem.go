@@ -1,0 +1,84 @@
+// Package mem models word-addressable main memory.
+//
+// The store is sparse: pages are allocated on first touch and unwritten
+// words read as zero, so a 32-bit address space costs only what the
+// workload actually uses. Off-chip memory always holds values in their
+// uncompressed form (§3.1); compression happens at the bus interface,
+// which is modelled by the cache hierarchies, not here.
+package mem
+
+import "cppcache/internal/mach"
+
+const (
+	pageWords = 1024                       // words per page
+	pageBytes = pageWords * mach.WordBytes // 4 KiB pages
+	pageShift = 12                         // log2(pageBytes)
+	pageMask  = mach.Addr(pageBytes - 1)   // offset within page
+)
+
+type page [pageWords]mach.Word
+
+// Memory is a sparse, word-addressable 32-bit memory. The zero value is an
+// all-zero memory ready to use.
+type Memory struct {
+	pages map[mach.Addr]*page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[mach.Addr]*page)}
+}
+
+func (m *Memory) pageFor(a mach.Addr, create bool) *page {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[mach.Addr]*page)
+	}
+	key := a >> pageShift
+	p := m.pages[key]
+	if p == nil && create {
+		p = new(page)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ReadWord returns the word stored at the word-aligned address a.
+// Unwritten memory reads as zero.
+func (m *Memory) ReadWord(a mach.Addr) mach.Word {
+	a = mach.WordAlign(a)
+	p := m.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[(a&pageMask)/mach.WordBytes]
+}
+
+// WriteWord stores v at the word-aligned address a.
+func (m *Memory) WriteWord(a mach.Addr, v mach.Word) {
+	a = mach.WordAlign(a)
+	p := m.pageFor(a, true)
+	p[(a&pageMask)/mach.WordBytes] = v
+}
+
+// ReadLine fills dst with the n=len(dst) consecutive words starting at the
+// word-aligned address a. The line may span page boundaries.
+func (m *Memory) ReadLine(a mach.Addr, dst []mach.Word) {
+	a = mach.WordAlign(a)
+	for i := range dst {
+		dst[i] = m.ReadWord(a + mach.Addr(i*mach.WordBytes))
+	}
+}
+
+// WriteLine stores the words of src at consecutive addresses from a.
+func (m *Memory) WriteLine(a mach.Addr, src []mach.Word) {
+	a = mach.WordAlign(a)
+	for i, v := range src {
+		m.WriteWord(a+mach.Addr(i*mach.WordBytes), v)
+	}
+}
+
+// PagesTouched returns the number of distinct 4 KiB pages ever written.
+func (m *Memory) PagesTouched() int { return len(m.pages) }

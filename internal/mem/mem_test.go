@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cppcache/internal/mach"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if got := m.ReadWord(0x1000); got != 0 {
+		t.Errorf("fresh memory read %#x, want 0", got)
+	}
+	m.WriteWord(0x1000, 42)
+	if got := m.ReadWord(0x1000); got != 42 {
+		t.Errorf("read back %d, want 42", got)
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	m := New()
+	f := func(a mach.Addr, v mach.Word) bool {
+		m.WriteWord(a, v)
+		return m.ReadWord(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnalignedAccessesAlias(t *testing.T) {
+	m := New()
+	m.WriteWord(0x2001, 7) // aligns down to 0x2000
+	if got := m.ReadWord(0x2003); got != 7 {
+		t.Errorf("unaligned read got %d, want 7", got)
+	}
+	if got := m.ReadWord(0x2004); got != 0 {
+		t.Errorf("neighbouring word got %d, want 0", got)
+	}
+}
+
+func TestAdjacentWordsIndependent(t *testing.T) {
+	m := New()
+	for i := mach.Addr(0); i < 64; i++ {
+		m.WriteWord(0x8000+i*4, mach.Word(i+1))
+	}
+	for i := mach.Addr(0); i < 64; i++ {
+		if got := m.ReadWord(0x8000 + i*4); got != mach.Word(i+1) {
+			t.Fatalf("word %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestLineRoundTripAcrossPages(t *testing.T) {
+	m := New()
+	// A line straddling the 4 KiB page boundary.
+	base := mach.Addr(pageBytes - 8)
+	src := []mach.Word{1, 2, 3, 4}
+	m.WriteLine(base, src)
+	dst := make([]mach.Word, 4)
+	m.ReadLine(base, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	if m.PagesTouched() != 2 {
+		t.Errorf("PagesTouched = %d, want 2", m.PagesTouched())
+	}
+}
+
+func TestHighAddresses(t *testing.T) {
+	m := New()
+	m.WriteWord(0xFFFFFFFC, 0xDEADBEEF)
+	if got := m.ReadWord(0xFFFFFFFC); got != 0xDEADBEEF {
+		t.Errorf("top-of-memory word = %#x", got)
+	}
+}
+
+func BenchmarkWriteWord(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.WriteWord(mach.Addr(i*4)&0xFFFFF, mach.Word(i))
+	}
+}
+
+func BenchmarkReadWord(b *testing.B) {
+	m := New()
+	for i := 0; i < 1<<18; i += 4 {
+		m.WriteWord(mach.Addr(i), mach.Word(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ReadWord(mach.Addr(i*4) & 0x3FFFF)
+	}
+}

@@ -1,0 +1,43 @@
+package memsys
+
+import "testing"
+
+func TestDefaultLatencies(t *testing.T) {
+	l := DefaultLatencies()
+	if l.L1Hit != 1 || l.AffHit != 2 || l.L2Hit != 10 || l.Mem != 100 {
+		t.Errorf("DefaultLatencies() = %+v", l)
+	}
+}
+
+func TestHalved(t *testing.T) {
+	h := DefaultLatencies().Halved()
+	if h.L1Hit != 1 {
+		t.Errorf("hit latency must not change: %d", h.L1Hit)
+	}
+	if h.L2Hit != 5 || h.Mem != 50 {
+		t.Errorf("Halved() = %+v, want L2Hit=5 Mem=50", h)
+	}
+	// Halving rounds up so a 1-cycle penalty never reaches 0.
+	odd := Latencies{L1Hit: 1, AffHit: 2, L2Hit: 3, Mem: 7}.Halved()
+	if odd.L2Hit != 2 || odd.Mem != 4 {
+		t.Errorf("odd Halved() = %+v", odd)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	s := LevelStats{Accesses: 200, Misses: 50}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %v", got)
+	}
+	var zero LevelStats
+	if zero.MissRate() != 0 {
+		t.Error("idle level should report 0")
+	}
+}
+
+func TestMemTrafficWords(t *testing.T) {
+	s := Stats{MemReadHalves: 10, MemWriteHalves: 5}
+	if got := s.MemTrafficWords(); got != 7.5 {
+		t.Errorf("MemTrafficWords = %v", got)
+	}
+}

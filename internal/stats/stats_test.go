@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{4}, 4},
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{2, 0, 8}, 4}, // zeros skipped
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		vals := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(vals)
+		scaled := make([]float64, len(vals))
+		for i, v := range vals {
+			scaled[i] = v * 2
+		}
+		return math.Abs(Geomean(scaled)-2*g) < 1e-6*g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func mkTable() *Table {
+	t := NewTable("test", []string{"a", "b"}, []string{"BC", "CPP"})
+	t.Set("a", "BC", 10)
+	t.Set("a", "CPP", 5)
+	t.Set("b", "BC", 4)
+	t.Set("b", "CPP", 8)
+	return t
+}
+
+func TestTableSetGet(t *testing.T) {
+	tab := mkTable()
+	if got := tab.Get("a", "CPP"); got != 5 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := tab.Col("BC"); got[0] != 10 || got[1] != 4 {
+		t.Errorf("Col = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Get of unknown cell did not panic")
+		}
+	}()
+	tab.Get("zzz", "BC")
+}
+
+func TestNormalized(t *testing.T) {
+	n := mkTable().Normalized("BC")
+	if got := n.Get("a", "BC"); got != 1 {
+		t.Errorf("base column = %v", got)
+	}
+	if got := n.Get("a", "CPP"); got != 0.5 {
+		t.Errorf("a/CPP = %v", got)
+	}
+	if got := n.Get("b", "CPP"); got != 2 {
+		t.Errorf("b/CPP = %v", got)
+	}
+}
+
+func TestWithGeomeanRow(t *testing.T) {
+	g := mkTable().WithGeomeanRow()
+	if g.Rows[len(g.Rows)-1] != "geomean" {
+		t.Fatal("no geomean row")
+	}
+	want := math.Sqrt(10 * 4)
+	if got := g.Get("geomean", "BC"); math.Abs(got-want) > 1e-9 {
+		t.Errorf("geomean BC = %v, want %v", got, want)
+	}
+	// The original is not mutated.
+	if len(mkTable().Rows) != 2 {
+		t.Error("original mutated")
+	}
+}
+
+func TestStringAndCSV(t *testing.T) {
+	tab := mkTable()
+	tab.Note = "a note"
+	s := tab.String()
+	for _, want := range []string{"test", "a note", "BC", "CPP", "10.000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "benchmark,BC,CPP\n") {
+		t.Errorf("CSV header: %q", csv)
+	}
+	if !strings.Contains(csv, "a,10,5") {
+		t.Errorf("CSV rows: %q", csv)
+	}
+}
+
+func TestSortedRows(t *testing.T) {
+	tab := NewTable("x", []string{"zz", "aa"}, []string{"c"})
+	tab.Set("zz", "c", 1)
+	tab.Set("aa", "c", 2)
+	s := tab.SortedRows()
+	if s.Rows[0] != "aa" || s.Get("aa", "c") != 2 {
+		t.Errorf("sorted = %v", s.Rows)
+	}
+}

@@ -1,0 +1,17 @@
+package workload
+
+import "fmt"
+
+// HealthDebug builds olden.health, reporting per-step trace growth. It is
+// a development aid.
+func HealthDebug(scale int) string {
+	out := ""
+	healthStepHook = func(step, insts, patients int) {
+		out += fmt.Sprintf("step %d: insts=%d listed=%d\n", step, insts, patients)
+	}
+	defer func() { healthStepHook = nil }()
+	Health(scale)
+	return out
+}
+
+var healthStepHook func(step, insts, listed int)

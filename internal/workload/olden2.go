@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"cppcache/internal/isa"
+	"cppcache/internal/mach"
+)
+
+// MST reproduces olden.mst: vertices in a list, each owning a small hash
+// table of edge weights; Prim's algorithm repeatedly scans the remaining
+// vertices and probes their hash tables. Substitution: the original's
+// modular hash is kept (multiply + mask), graph size scaled down; the
+// bucket-chain walk and small integer weights are preserved.
+func MST(scale int) *Program {
+	b := NewBuilder(0x3157)
+	nv := 1536 // ~200 KB of vertices, tables and edge nodes
+	const buckets = 8
+
+	// vertex: {next, hashTable ptr, key, dist}; table: buckets x {head}.
+	// bucket node: {next, key, weight, pad}
+	type vertex struct {
+		addr  mach.Addr
+		table mach.Addr
+	}
+	verts := make([]vertex, nv)
+	for i := range verts {
+		v := &verts[i]
+		v.addr = b.Alloc(16, 16)
+		v.table = b.Alloc(buckets*4, 16)
+		b.SetPC(pcBuild)
+		next := mach.Addr(0)
+		b.Store(v.addr+0, next, NoReg, NoReg)
+		b.Store(v.addr+4, v.table, NoReg, NoReg)
+		b.Store(v.addr+8, mach.Word(i), NoReg, NoReg)
+		b.Store(v.addr+12, 0x7FFF, NoReg, NoReg)
+		for j := 0; j < buckets; j++ {
+			b.Store(v.table+mach.Addr(j*4), 0, NoReg, NoReg)
+		}
+	}
+	// Link vertices and insert edges to a few neighbours each.
+	for i := range verts {
+		if i+1 < nv {
+			b.Store(verts[i].addr+0, verts[i+1].addr, NoReg, NoReg)
+		}
+		deg := 4
+		for d := 1; d <= deg; d++ {
+			j := (i + d) % nv
+			w := mach.Word(1 + b.Rand().Intn(1024))
+			bucket := verts[i].table + mach.Addr((j%buckets)*4)
+			node := b.ScatterAlloc(4, 16, 16)
+			b.SetPC(pcBuild + 0x40)
+			head := b.image.ReadWord(bucket)
+			b.Store(node+0, head, NoReg, NoReg)
+			b.Store(node+4, mach.Word(j), NoReg, NoReg)
+			b.Store(node+8, w, NoReg, NoReg)
+			b.Store(bucket, node, NoReg, NoReg)
+		}
+	}
+
+	// Prim main loop: nv-1 rounds; each scans the vertex list, probing
+	// the hash table of each remaining vertex for the frontier key.
+	inTree := make([]bool, nv)
+	inTree[0] = true
+	frontier := 0
+	rounds := 2 * scale
+	if rounds > nv-1 {
+		rounds = nv - 1
+	}
+	for r := 0; r < rounds; r++ {
+		best, bestW := -1, mach.Word(1<<31)
+		cur := verts[0].addr
+		curIdx := 0
+		var dep Reg = NoReg
+		for cur != 0 {
+			b.SetPC(pcLoop)
+			b.Branch(dep, true)
+			if !inTree[curIdx] {
+				tbl := b.Load(cur+4, dep)
+				tblAddr := b.image.ReadWord(cur + 4)
+				h := b.Op(isa.OpMul, tbl, NoReg) // hash of frontier key
+				bucket := tblAddr + mach.Addr((frontier%8)*4)
+				node := b.Load(bucket, h)
+				nAddr := b.image.ReadWord(bucket)
+				for nAddr != 0 {
+					b.SetPC(pcLoop2)
+					b.Branch(node, true)
+					key := b.Load(nAddr+4, node)
+					match := b.image.ReadWord(nAddr+4) == mach.Word(frontier)
+					b.Branch(key, match)
+					if match {
+						w := b.Load(nAddr+8, node)
+						wv := b.image.ReadWord(nAddr + 8)
+						b.Branch(w, wv < bestW)
+						if wv < bestW {
+							bestW, best = wv, curIdx
+						}
+						break
+					}
+					node = b.Load(nAddr+0, node)
+					nAddr = b.image.ReadWord(nAddr + 0)
+				}
+				b.SetPC(pcLoop2 + 0x40)
+				b.Branch(node, false)
+			}
+			next := b.Load(cur+0, dep)
+			cur = b.image.ReadWord(cur + 0)
+			dep = next
+			curIdx++
+		}
+		b.SetPC(pcLoop + 0x80)
+		b.Branch(dep, false)
+		if best < 0 {
+			for i, t := range inTree {
+				if !t {
+					best = i
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		inTree[best] = true
+		frontier = best
+	}
+	return b.Program("olden.mst")
+}
+
+// TSP reproduces olden.tsp: cities in a binary tree carrying float
+// coordinates, merged into a tour held as a circular doubly linked list.
+// Substitution: the closest-point heuristic is approximated by a
+// coordinate-distance sweep; float payloads keep the incompressible value
+// mix that makes tsp one of the least compressible programs in Figure 3.
+func TSP(scale int) *Program {
+	b := NewBuilder(0x7599)
+	depth := 13 // 8K cities x 32 B = 256K
+	passes := scale
+
+	// city: {left, right, x, y, next, prev, pad, pad} = 32 bytes
+	var cities []mach.Addr
+	var build func(d int) mach.Addr
+	build = func(d int) mach.Addr {
+		if d == 0 {
+			return 0
+		}
+		n := b.ScatterAlloc(8, 32, 32)
+		cities = append(cities, n)
+		l := build(d - 1)
+		r := build(d - 1)
+		b.SetPC(pcBuild)
+		b.Store(n+0, l, NoReg, NoReg)
+		b.Store(n+4, r, NoReg, NoReg)
+		b.Store(n+8, fbits(b), NoReg, NoReg)
+		b.Store(n+12, fbits(b), NoReg, NoReg)
+		b.Store(n+16, 0, NoReg, NoReg)
+		b.Store(n+20, 0, NoReg, NoReg)
+		return n
+	}
+	root := build(depth)
+
+	// Tour construction: the closest-point heuristic visits cities in an
+	// order dictated by their random coordinates, not their addresses.
+	// Model that with a coordinate-seeded shuffle, linking consecutive
+	// tour cities and computing their distances.
+	order := append([]mach.Addr(nil), cities...)
+	b.Rand().Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	var last mach.Addr
+	var lastDep Reg = NoReg
+	for _, addr := range order {
+		b.SetPC(pcWalk)
+		x := b.Load(addr+8, NoReg)
+		y := b.Load(addr+12, NoReg)
+		if last != 0 {
+			lx := b.Load(last+8, lastDep)
+			ly := b.Load(last+12, lastDep)
+			dx := fpOp(b, isa.OpFALU, x, lx)
+			dy := fpOp(b, isa.OpFALU, y, ly)
+			d2x := fpOp(b, isa.OpFMul, dx, dx)
+			d2y := fpOp(b, isa.OpFMul, dy, dy)
+			dist := fpOp(b, isa.OpFALU, d2x, d2y)
+			b.Branch(dist, b.Rand().Intn(2) == 0)
+			b.Store(last+16, addr, lastDep, NoReg)
+			b.Store(addr+20, last, NoReg, lastDep)
+		}
+		last, lastDep = addr, x
+	}
+	_ = root
+
+	// Tour improvement sweeps over the linked list (2-opt flavoured).
+	for pass := 0; pass < passes; pass++ {
+		cur := order[0]
+		var dep Reg = NoReg
+		for i := 0; i < len(cities)-1; i++ {
+			b.SetPC(pcLoop)
+			b.Branch(dep, true)
+			nxt := b.Load(cur+16, dep)
+			na := b.image.ReadWord(cur + 16)
+			if na == 0 {
+				break
+			}
+			x1 := b.Load(cur+8, dep)
+			x2 := b.Load(na+8, nxt)
+			d := fpOp(b, isa.OpFALU, x1, x2)
+			b.Branch(d, false)
+			cur, dep = na, nxt
+		}
+		b.SetPC(pcLoop + 0x40)
+		b.Branch(NoReg, false)
+	}
+	return b.Program("olden.tsp")
+}
+
+// EM3D reproduces olden.em3d: a bipartite graph of E and H field nodes;
+// each relaxation step recomputes every node's value from its neighbour
+// values scaled by per-edge coefficients. Substitution: degrees fixed at
+// the original's default (2), float values/coefficients keep the value
+// mix; the node lists are built in allocation order like the original's
+// local lists.
+func EM3D(scale int) *Program {
+	b := NewBuilder(0xe3d)
+	n := 4096 // 256 KB across both node classes
+	const degree = 2
+	iters := 1 + scale/4
+
+	// node: {value, next, from[2] ptrs, coeff[2] floats, pad, pad}=32B
+	mk := func() []mach.Addr {
+		nodes := make([]mach.Addr, n)
+		for i := range nodes {
+			nodes[i] = b.ScatterAlloc(8, 32, 32)
+		}
+		return nodes
+	}
+	eNodes, hNodes := mk(), mk()
+	wire := func(from, to []mach.Addr) {
+		for i, a := range to {
+			b.SetPC(pcBuild)
+			b.Store(a+0, fbits(b), NoReg, NoReg)
+			next := mach.Addr(0)
+			if i+1 < len(to) {
+				next = to[i+1]
+			}
+			b.Store(a+4, next, NoReg, NoReg)
+			for d := 0; d < degree; d++ {
+				src := from[b.Rand().Intn(len(from))]
+				b.Store(a+mach.Addr(8+d*4), src, NoReg, NoReg)
+				b.Store(a+mach.Addr(16+d*4), fbits(b), NoReg, NoReg)
+			}
+		}
+	}
+	wire(hNodes, eNodes)
+	wire(eNodes, hNodes)
+
+	relax := func(list []mach.Addr) {
+		cur := list[0]
+		var dep Reg = NoReg
+		for cur != 0 {
+			b.SetPC(pcLoop)
+			b.Branch(dep, true)
+			acc := b.Load(cur+0, dep)
+			for d := 0; d < degree; d++ {
+				fp := b.Load(cur+mach.Addr(8+d*4), dep)
+				fAddr := b.image.ReadWord(cur + mach.Addr(8+d*4))
+				fv := b.Load(fAddr+0, fp)
+				co := b.Load(cur+mach.Addr(16+d*4), dep)
+				prod := fpOp(b, isa.OpFMul, fv, co)
+				acc = fpOp(b, isa.OpFALU, acc, prod)
+			}
+			b.Store(cur+0, fbits(b), dep, acc)
+			nxt := b.Load(cur+4, dep)
+			cur = b.image.ReadWord(cur + 4)
+			dep = nxt
+		}
+		b.SetPC(pcLoop + 0x40)
+		b.Branch(dep, false)
+	}
+	for i := 0; i < iters; i++ {
+		relax(eNodes)
+		relax(hNodes)
+	}
+	return b.Program("olden.em3d")
+}
+
+// Power reproduces olden.power: a fixed fan-out distribution tree (root
+// -> laterals -> branches -> leaves) walked bottom-up every iteration
+// with floating-point demand computations at each node. Substitution:
+// the Newton step at the root is elided; the tree shape, FP mix and
+// pointer traversal match.
+func Power(scale int) *Program {
+	b := NewBuilder(0x90e4)
+	laterals := 10
+	branches := 8
+	leaves := 12
+	iters := 3 * scale
+
+	// node: {child, sibling, P (float), Q (float)} = 16B
+	mkNode := func() mach.Addr {
+		n := b.ScatterAlloc(8, 16, 16)
+		b.SetPC(pcBuild)
+		b.Store(n+0, 0, NoReg, NoReg)
+		b.Store(n+4, 0, NoReg, NoReg)
+		b.Store(n+8, fbits(b), NoReg, NoReg)
+		b.Store(n+12, fbits(b), NoReg, NoReg)
+		return n
+	}
+	root := mkNode()
+	var prevLat mach.Addr
+	for l := 0; l < laterals; l++ {
+		lat := mkNode()
+		if prevLat == 0 {
+			b.Store(root+0, lat, NoReg, NoReg)
+		} else {
+			b.Store(prevLat+4, lat, NoReg, NoReg)
+		}
+		prevLat = lat
+		var prevBr mach.Addr
+		for br := 0; br < branches; br++ {
+			brn := mkNode()
+			if prevBr == 0 {
+				b.Store(lat+0, brn, NoReg, NoReg)
+			} else {
+				b.Store(prevBr+4, brn, NoReg, NoReg)
+			}
+			prevBr = brn
+			var prevLeaf mach.Addr
+			for lf := 0; lf < leaves; lf++ {
+				leaf := mkNode()
+				if prevLeaf == 0 {
+					b.Store(brn+0, leaf, NoReg, NoReg)
+				} else {
+					b.Store(prevLeaf+4, leaf, NoReg, NoReg)
+				}
+				prevLeaf = leaf
+			}
+		}
+	}
+
+	// Bottom-up demand computation, repeated.
+	var compute func(addr mach.Addr, dep Reg) (Reg, Reg)
+	compute = func(addr mach.Addr, dep Reg) (Reg, Reg) {
+		b.SetPC(pcWalk)
+		p := b.Load(addr+8, dep)
+		q := b.Load(addr+12, dep)
+		child := b.Load(addr+0, dep)
+		cAddr := b.image.ReadWord(addr + 0)
+		b.Branch(child, cAddr != 0)
+		for cAddr != 0 {
+			cp, cq := compute(cAddr, child)
+			b.SetPC(pcWalk + 0x40)
+			p = fpOp(b, isa.OpFALU, p, cp)
+			q = fpOp(b, isa.OpFALU, q, cq)
+			sib := b.Load(cAddr+4, child)
+			nAddr := b.image.ReadWord(cAddr + 4)
+			b.Branch(sib, nAddr != 0)
+			cAddr, child = nAddr, sib
+		}
+		loss := fpOp(b, isa.OpFMul, p, p)
+		p = fpOp(b, isa.OpFALU, p, loss)
+		div := fpOp(b, isa.OpFDiv, q, p)
+		b.Store(addr+8, fbits(b), dep, p)
+		b.Store(addr+12, fbits(b), dep, div)
+		return p, q
+	}
+	for i := 0; i < iters; i++ {
+		compute(root, NoReg)
+	}
+	return b.Program("olden.power")
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark describes one of the paper's 14 programs and how to generate
+// its trace.
+type Benchmark struct {
+	Name         string // e.g. "olden.health"
+	Suite        string // "olden", "spec95", "spec2000"
+	Build        func(scale int) *Program
+	Description  string
+	Substitution string // what replaced the reference binary/input
+}
+
+// DefaultScale is the trace scale used by the experiment drivers; tests
+// and quick runs use 1.
+const DefaultScale = 4
+
+var registry = []Benchmark{
+	{
+		Name: "olden.bisort", Suite: "olden", Build: Bisort,
+		Description:  "binary tree of integers sorted by bitonic value-swap sweeps",
+		Substitution: "full bitonic recursion approximated by compare-and-swap sweeps",
+	},
+	{
+		Name: "olden.em3d", Suite: "olden", Build: EM3D,
+		Description:  "bipartite E/H field graph relaxation with per-edge coefficients",
+		Substitution: "synthetic graph, fixed degree 2, float payloads",
+	},
+	{
+		Name: "olden.health", Suite: "olden", Build: Health,
+		Description:  "village hierarchy with per-village patient lists (Figure 5 pattern)",
+		Substitution: "fixed transfer probability instead of per-village seeding",
+	},
+	{
+		Name: "olden.mst", Suite: "olden", Build: MST,
+		Description:  "Prim's MST over per-vertex hash tables of edge weights",
+		Substitution: "scaled-down graph, same hash-probe loop",
+	},
+	{
+		Name: "olden.perimeter", Suite: "olden", Build: Perimeter,
+		Description:  "quadtree image perimeter with colour-dependent traversal",
+		Substitution: "neighbour finding approximated by colour-weighted walk",
+	},
+	{
+		Name: "olden.power", Suite: "olden", Build: Power,
+		Description:  "power-system demand propagation over a fixed fan-out tree",
+		Substitution: "root Newton step elided; same tree and FP mix",
+	},
+	{
+		Name: "olden.treeadd", Suite: "olden", Build: TreeAdd,
+		Description:  "recursive sum over a binary tree of four-word nodes",
+		Substitution: "reduced depth; same structure and traversal",
+	},
+	{
+		Name: "olden.tsp", Suite: "olden", Build: TSP,
+		Description:  "TSP tour construction over a city tree with float coordinates",
+		Substitution: "closest-point heuristic approximated by distance sweeps",
+	},
+	{
+		Name: "spec95.099.go", Suite: "spec95", Build: Go95,
+		Description:  "board scanning and liberty counting across candidate positions",
+		Substitution: "game engine reduced to its dominant board-scan loop",
+	},
+	{
+		Name: "spec95.129.compress", Suite: "spec95", Build: Compress95,
+		Description:  "LZW hash-probe-insert loop over a skewed byte stream",
+		Substitution: "synthetic text instead of the reference corpus",
+	},
+	{
+		Name: "spec95.130.li", Suite: "spec95", Build: Li95,
+		Description:  "cons-cell expression evaluation with periodic GC sweeps",
+		Substitution: "fixed arithmetic s-expressions instead of the reference program",
+	},
+	{
+		Name: "spec2000.181.mcf", Suite: "spec2000", Build: MCF,
+		Description:  "network-simplex arc pricing: streaming arc scan + potential loads",
+		Substitution: "synthetic network at reduced size",
+	},
+	{
+		Name: "spec2000.197.parser", Suite: "spec2000", Build: Parser,
+		Description:  "dictionary trie lookups with sibling-chain character compares",
+		Substitution: "synthetic dictionary and word stream",
+	},
+	{
+		Name: "spec2000.300.twolf", Suite: "spec2000", Build: Twolf,
+		Description:  "annealing placement: random cell swaps in a conflict-prone grid",
+		Substitution: "synthetic netlist; grid padded to collide in the 8K L1",
+	},
+}
+
+// All returns the benchmarks in a stable order.
+func All() []Benchmark {
+	out := append([]Benchmark(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns all benchmark names in stable order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, bm := range all {
+		names[i] = bm.Name
+	}
+	return names
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Benchmark, error) {
+	for _, bm := range registry {
+		if bm.Name == name {
+			return bm, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+}

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"cppcache/internal/mach"
+)
+
+// The SPECint2000 stand-ins.
+
+// MCF reproduces spec2000.181.mcf: network-simplex min-cost flow. Its
+// dominant loop is arc pricing: a streaming sweep over a large arc array
+// whose entries mix node pointers (compressible via shared prefixes) with
+// costs and flows, computing reduced costs through the node potentials
+// and occasionally updating flow. Substitution: a synthetic network with
+// the reference's access shape — sequential arc scan + pointer-indirect
+// potential loads — at reduced size.
+func MCF(scale int) *Program {
+	b := NewBuilder(0x1810)
+	nNodes := 2048
+	nArcs := 16384 // 256 KB of arcs + 32 KB of nodes: well past the L2
+	passes := 1 + scale/4
+
+	// node: {potential, orientation, basicArc, pad}; arc: {tail, head,
+	// cost, flow} — 16 bytes each, like mcf's cache-conscious layout.
+	nodes := make([]mach.Addr, nNodes)
+	for i := range nodes {
+		nodes[i] = b.ScatterAlloc(4, 16, 16)
+		b.SetPC(pcBuild)
+		b.Store(nodes[i]+0, mach.Word(b.Rand().Intn(1<<22)), NoReg, NoReg)
+		b.Store(nodes[i]+4, mach.Word(i&1), NoReg, NoReg)
+		b.Store(nodes[i]+8, 0, NoReg, NoReg)
+	}
+	arcs := b.Alloc(nArcs*16, 64)
+	for i := 0; i < nArcs; i++ {
+		a := arcs + mach.Addr(i*16)
+		b.SetPC(pcBuild + 0x40)
+		b.Store(a+0, nodes[b.Rand().Intn(nNodes)], NoReg, NoReg)
+		b.Store(a+4, nodes[b.Rand().Intn(nNodes)], NoReg, NoReg)
+		b.Store(a+8, mach.Word(b.Rand().Intn(1<<20)), NoReg, NoReg)
+		b.Store(a+12, 0, NoReg, NoReg)
+	}
+
+	for p := 0; p < passes; p++ {
+		for i := 0; i < nArcs; i++ {
+			a := arcs + mach.Addr(i*16)
+			b.SetPC(pcLoop)
+			b.Branch(NoReg, true)
+			tail := b.Load(a+0, NoReg)
+			head := b.Load(a+4, NoReg)
+			cost := b.Load(a+8, NoReg)
+			tAddr := b.image.ReadWord(a + 0)
+			hAddr := b.image.ReadWord(a + 4)
+			pt := b.Load(tAddr+0, tail)
+			ph := b.Load(hAddr+0, head)
+			red := b.ALU(b.ALU(cost, pt), ph)
+			negative := b.Rand().Intn(8) == 0
+			b.Branch(red, negative)
+			if negative {
+				b.SetPC(pcLoop2)
+				flow := b.Load(a+12, NoReg)
+				nf := b.ALU(flow, red)
+				b.Store(a+12, mach.Word(b.Rand().Intn(64)), NoReg, nf)
+			}
+		}
+		b.SetPC(pcLoop + 0x80)
+		b.Branch(NoReg, false)
+	}
+	return b.Program("spec2000.181.mcf")
+}
+
+// Parser reproduces spec2000.197.parser: link-grammar dictionary lookups.
+// The hot structure is a character trie of sibling-linked nodes
+// {child, sibling, char, count}; word lookups chase sibling chains
+// comparing characters (small values) and descend child pointers, then
+// bump a use counter. Substitution: a synthetic dictionary and word
+// stream with the reference's trie shape and probe statistics.
+func Parser(scale int) *Program {
+	b := NewBuilder(0x1970)
+	nWords := 1400
+	wordLen := 7
+	lookups := 400 * scale
+	const alpha = 14
+
+	// Build the trie in Go first, allocating nodes in insertion order.
+	type tnode struct {
+		addr     mach.Addr
+		children map[byte]*tnode
+	}
+	newNode := func(ch byte) *tnode {
+		n := &tnode{addr: b.ScatterAlloc(8, 16, 16), children: map[byte]*tnode{}}
+		b.SetPC(pcBuild)
+		b.Store(n.addr+0, 0, NoReg, NoReg)
+		b.Store(n.addr+4, 0, NoReg, NoReg)
+		b.Store(n.addr+8, mach.Word(ch), NoReg, NoReg)
+		b.Store(n.addr+12, 0, NoReg, NoReg)
+		return n
+	}
+	root := newNode(0)
+	words := make([][]byte, nWords)
+	for w := range words {
+		word := make([]byte, wordLen)
+		for i := range word {
+			word[i] = byte(b.Rand().Intn(alpha))
+		}
+		words[w] = word
+		cur := root
+		for _, ch := range word {
+			next, ok := cur.children[ch]
+			if !ok {
+				next = newNode(ch)
+				cur.children[ch] = next
+				// Link: new node becomes head of the sibling list.
+				oldHead := b.image.ReadWord(cur.addr + 0)
+				b.Store(next.addr+4, oldHead, NoReg, NoReg)
+				b.Store(cur.addr+0, next.addr, NoReg, NoReg)
+			}
+			cur = next
+		}
+	}
+
+	// Lookup loop: walk sibling chains comparing chars, descend.
+	for l := 0; l < lookups; l++ {
+		word := words[b.Rand().Intn(nWords)]
+		cur := root
+		var dep Reg = NoReg
+		for _, ch := range word {
+			b.SetPC(pcLoop)
+			b.Branch(dep, true)
+			childReg := b.Load(cur.addr+0, dep)
+			sib := b.image.ReadWord(cur.addr + 0)
+			sibReg := childReg
+			var found *tnode
+			for sib != 0 {
+				b.SetPC(pcLoop2)
+				c := b.Load(sib+8, sibReg)
+				cv := b.image.ReadWord(sib + 8)
+				match := cv == mach.Word(ch)
+				b.Branch(c, match)
+				if match {
+					for _, t := range cur.children {
+						if t.addr == sib {
+							found = t
+							break
+						}
+					}
+					dep = sibReg
+					break
+				}
+				nxt := b.Load(sib+4, sibReg)
+				sib = b.image.ReadWord(sib + 4)
+				sibReg = nxt
+			}
+			if found == nil {
+				break
+			}
+			cur = found
+		}
+		// Bump the terminal node's counter.
+		b.SetPC(pcLoop3)
+		cnt := b.Load(cur.addr+12, dep)
+		nv := b.image.ReadWord(cur.addr+12) + 1
+		b.Store(cur.addr+12, nv, dep, cnt)
+	}
+	return b.Program("spec2000.197.parser")
+}
+
+// Twolf reproduces spec2000.300.twolf: standard-cell placement by
+// simulated annealing. The hot loop proposes swapping two random cells,
+// evaluates the wire-cost change through each cell's net list, and
+// commits some swaps into the placement grid. The grid rows are padded so
+// that vertically adjacent slots conflict in a direct-mapped 8K L1 —
+// twolf is one of the two programs where the paper finds conflict misses
+// dominant (CPP beats BCP). Substitution: synthetic netlist, same access
+// anatomy.
+func Twolf(scale int) *Program {
+	b := NewBuilder(0x3000)
+	nCells := 1024
+	netFan := 4
+	moves := 800 * scale
+	const rows = 16
+	const cols = 64 // row stride 256B; 16K grid > two L1s
+
+	// cell: {x, y, netlist ptr, cost}; net node: {next, cell ptr, weight,
+	// pad}.
+	cells := make([]mach.Addr, nCells)
+	for i := range cells {
+		cells[i] = b.ScatterAlloc(8, 16, 16)
+		b.SetPC(pcBuild)
+		b.Store(cells[i]+0, mach.Word(b.Rand().Intn(cols)), NoReg, NoReg)
+		b.Store(cells[i]+4, mach.Word(b.Rand().Intn(rows)), NoReg, NoReg)
+		b.Store(cells[i]+8, 0, NoReg, NoReg)
+		b.Store(cells[i]+12, 0, NoReg, NoReg)
+	}
+	for i := range cells {
+		for f := 0; f < netFan; f++ {
+			n := b.ScatterAlloc(8, 16, 16)
+			b.SetPC(pcBuild + 0x40)
+			head := b.image.ReadWord(cells[i] + 8)
+			b.Store(n+0, head, NoReg, NoReg)
+			b.Store(n+4, cells[b.Rand().Intn(nCells)], NoReg, NoReg)
+			b.Store(n+8, mach.Word(1+b.Rand().Intn(16)), NoReg, NoReg)
+			b.Store(cells[i]+8, n, NoReg, NoReg)
+		}
+	}
+	// Placement grid, aligned so same-column slots in different rows
+	// collide in an 8K direct-mapped cache (row stride 512B x 16 = 8K).
+	grid := b.Alloc(rows*cols*8, 8<<10)
+	slot := func(r, c int) mach.Addr { return grid + mach.Addr((r*cols+c)*8) }
+	for i, cell := range cells {
+		b.Store(slot(i/cols%rows, i%cols), cell, NoReg, NoReg)
+	}
+
+	cost := func(cell mach.Addr, dep Reg) Reg {
+		net := b.Load(cell+8, dep)
+		cur := b.image.ReadWord(cell + 8)
+		acc := net
+		steps := 0
+		for cur != 0 && steps < netFan {
+			b.SetPC(pcLoop2)
+			b.Branch(acc, true)
+			other := b.Load(cur+4, acc)
+			oAddr := b.image.ReadWord(cur + 4)
+			ox := b.Load(oAddr+0, other)
+			w := b.Load(cur+8, acc)
+			acc = b.ALU(b.ALU(ox, w), acc)
+			nxt := b.Load(cur+0, acc)
+			cur = b.image.ReadWord(cur + 0)
+			acc = nxt
+			steps++
+		}
+		return acc
+	}
+
+	for m := 0; m < moves; m++ {
+		b.SetPC(pcLoop)
+		b.Branch(NoReg, true)
+		r1, c1 := b.Rand().Intn(rows), b.Rand().Intn(cols)
+		r2, c2 := b.Rand().Intn(rows), c1 // same column: conflicting slots
+		p1 := b.Load(slot(r1, c1), NoReg)
+		p2 := b.Load(slot(r2, c2), NoReg)
+		a1 := b.image.ReadWord(slot(r1, c1))
+		a2 := b.image.ReadWord(slot(r2, c2))
+		if a1 == 0 || a2 == 0 {
+			b.Branch(p1, false)
+			continue
+		}
+		d1 := cost(a1, p1)
+		d2 := cost(a2, p2)
+		delta := b.ALU(d1, d2)
+		accept := b.Rand().Intn(4) == 0
+		b.SetPC(pcLoop3)
+		b.Branch(delta, accept)
+		if accept {
+			b.Store(slot(r1, c1), a2, NoReg, p2)
+			b.Store(slot(r2, c2), a1, NoReg, p1)
+			x1 := b.Load(a1+0, p1)
+			x2 := b.Load(a2+0, p2)
+			v1 := b.image.ReadWord(a1 + 0)
+			v2 := b.image.ReadWord(a2 + 0)
+			b.Store(a1+0, v2, p1, x2)
+			b.Store(a2+0, v1, p2, x1)
+		}
+	}
+	return b.Program("spec2000.300.twolf")
+}

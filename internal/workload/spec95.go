@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"cppcache/internal/isa"
+	"cppcache/internal/mach"
+)
+
+// The SPECint95 stand-ins. The reference binaries and inputs are not
+// reproducible here; each generator executes the program's characteristic
+// kernel over synthetic data sized to stress an 8K L1 / 64K L2.
+
+// Go95 reproduces spec95.099.go: board-game position evaluation —
+// repeated scans of 19x19 board arrays (stone colours, liberty counts:
+// all small values) across a set of candidate positions, with
+// data-dependent branches on board contents. Substitution: the full
+// game engine is replaced by its dominant loop, the board scanner/
+// liberty counter, applied to many boards so the data footprint exceeds
+// the L2 as the real engine's does.
+func Go95(scale int) *Program {
+	b := NewBuilder(0x6099)
+	const side = 19
+	const cells = side * side
+	nBoards := 64 // ~92 KB of boards
+	passes := scale
+
+	boards := make([]mach.Addr, nBoards)
+	for i := range boards {
+		boards[i] = b.Alloc(cells*4, 64)
+		for c := 0; c < cells; c++ {
+			b.SetPC(pcBuild)
+			b.Store(boards[i]+mach.Addr(c*4), mach.Word(b.Rand().Intn(3)), NoReg, NoReg)
+		}
+	}
+	// Group arrays: engines keep per-cell group/string metadata whose
+	// words are hashes — incompressible, doubling the board footprint.
+	groups := make([]mach.Addr, nBoards)
+	for i := range groups {
+		groups[i] = b.Alloc(cells*4, 64)
+		for c := 0; c < cells; c++ {
+			b.SetPC(pcBuild + 0x40)
+			b.Store(groups[i]+mach.Addr(c*4), b.Rand().Uint32()&0x0FFFFFFF|0x00800000, NoReg, NoReg)
+		}
+	}
+	// Zobrist hash table: position hashing is core to go engines; its
+	// entries are full-range values, incompressible by design.
+	const zobristN = 2 * cells
+	zobrist := b.Alloc(zobristN*4, 64)
+	for i := 0; i < zobristN; i++ {
+		b.SetPC(pcBuild + 0x80)
+		b.Store(zobrist+mach.Addr(i*4), b.Rand().Uint32()&0x0FFFFFFF|0x00800000, NoReg, NoReg)
+	}
+
+	for p := 0; p < passes; p++ {
+		for bi, board := range boards {
+			group := groups[bi]
+			var score Reg = NoReg
+			for c := 0; c < cells; c++ {
+				b.SetPC(pcLoop)
+				b.Branch(NoReg, true)
+				stone := b.Load(board+mach.Addr(c*4), NoReg)
+				sv := b.image.ReadWord(board + mach.Addr(c*4))
+				b.Branch(stone, sv != 0)
+				if sv == 0 {
+					continue
+				}
+				// Count liberties: check the four neighbours.
+				libs := stone
+				for _, d := range [4]int{-1, 1, -side, side} {
+					nc := c + d
+					if nc < 0 || nc >= cells {
+						continue
+					}
+					nb := b.Load(board+mach.Addr(nc*4), NoReg)
+					libs = b.ALU(libs, nb)
+				}
+				z := b.Load(zobrist+mach.Addr(((c*2+int(sv))%zobristN)*4), stone)
+				g := b.Load(group+mach.Addr(c*4), stone)
+				libs = b.ALU(libs, b.ALU(z, g))
+				if score == NoReg {
+					score = libs
+				} else {
+					score = b.ALU(score, libs)
+				}
+				// Occasionally place/remove a stone.
+				if b.Rand().Intn(64) == 0 {
+					b.Store(board+mach.Addr(c*4), mach.Word(b.Rand().Intn(3)), NoReg, libs)
+				}
+			}
+			b.SetPC(pcLoop + 0x40)
+			b.Branch(NoReg, false)
+		}
+	}
+	return b.Program("spec95.099.go")
+}
+
+// Compress95 reproduces spec95.129.compress: LZW compression — a byte
+// stream hashed (prefix, char) -> code through an open-chained table with
+// data-dependent probe lengths. Substitution: synthetic skewed text
+// instead of the reference corpus; table geometry (4K entries) and the
+// hash-probe-insert loop match, and hash values make the table region
+// incompressible while the input stream is small values.
+func Compress95(scale int) *Program {
+	b := NewBuilder(0x129c)
+	const tabSize = 4096
+	inputLen := 6000 * scale
+
+	// table entry: {key, code} pairs; input: byte-per-word buffer;
+	// output: code buffer.
+	table := b.Alloc(tabSize*8, 64)
+	input := b.Alloc(inputLen*4, 64)
+	output := b.Alloc(inputLen*4, 64)
+	for i := 0; i < tabSize; i++ {
+		b.SetPC(pcBuild)
+		b.Store(table+mach.Addr(i*8), 0xFFFFFFFF, NoReg, NoReg) // empty
+		b.Store(table+mach.Addr(i*8+4), 0, NoReg, NoReg)
+	}
+	// Skewed synthetic text: a small alphabet with repeats compresses
+	// like the reference input does.
+	for i := 0; i < inputLen; i++ {
+		ch := mach.Word(b.Rand().Intn(16))
+		if b.Rand().Intn(4) != 0 && i > 0 {
+			ch = b.image.ReadWord(input + mach.Addr((i-1)*4)) // run
+		}
+		b.Store(input+mach.Addr(i*4), ch, NoReg, NoReg)
+	}
+
+	nextCode := mach.Word(256)
+	prefix := mach.Word(0)
+	outPos := 0
+	for i := 0; i < inputLen; i++ {
+		b.SetPC(pcLoop)
+		b.Branch(NoReg, true)
+		ch := b.Load(input+mach.Addr(i*4), NoReg)
+		chv := b.image.ReadWord(input + mach.Addr(i*4))
+		key := prefix<<8 | chv
+		h := b.Op(isa.OpMul, ch, NoReg) // the hash multiply
+		slot := int(key*2654435761) % tabSize
+		if slot < 0 {
+			slot += tabSize
+		}
+		// Probe with linear chaining.
+		found := false
+		var probeReg Reg = h
+		for probe := 0; probe < 4; probe++ {
+			s := (slot + probe) % tabSize
+			k := b.Load(table+mach.Addr(s*8), probeReg)
+			kv := b.image.ReadWord(table + mach.Addr(s*8))
+			probeReg = k
+			if kv == key {
+				b.Branch(k, true)
+				code := b.Load(table+mach.Addr(s*8+4), k)
+				prefix = b.image.ReadWord(table + mach.Addr(s*8+4))
+				_ = code
+				found = true
+				break
+			}
+			if kv == 0xFFFFFFFF {
+				b.Branch(k, false)
+				// Insert.
+				b.SetPC(pcLoop2)
+				b.Store(table+mach.Addr(s*8), key, k, NoReg)
+				b.Store(table+mach.Addr(s*8+4), nextCode, k, NoReg)
+				nextCode++
+				break
+			}
+			b.Branch(k, false)
+		}
+		if !found {
+			// Emit the current prefix code and restart.
+			b.SetPC(pcLoop3)
+			b.Store(output+mach.Addr(outPos*4), prefix, NoReg, probeReg)
+			outPos++
+			prefix = chv
+		}
+		if nextCode >= tabSize {
+			nextCode = 256 // table reset, as compress does
+		}
+	}
+	return b.Program("spec95.129.compress")
+}
+
+// Li95 reproduces spec95.130.li: the xlisp interpreter — cons cells
+// {car, cdr, type, value} allocated from a cell heap, expression
+// evaluation by list traversal, and a mark phase sweeping every live
+// cell. Substitution: a fixed set of arithmetic s-expressions replaces
+// the reference lisp program; cell geometry, eval recursion and the GC
+// sweep match. The paper singles out 130.li: CPP beats HAC on it despite
+// more cache misses, because its misses block fewer instructions.
+func Li95(scale int) *Program {
+	b := NewBuilder(0x1307)
+	nExprs := 192
+	exprLen := 40 // ~250 KB of cons cells
+	gcEvery := 48
+	repeats := 1 + scale/4
+
+	const (
+		typeCons = 0
+		typeInt  = 1
+	)
+	// xlisp allocates cons cells from free lists that GC churn has
+	// shuffled: model it by pre-allocating the cell pool and consuming it
+	// in random order, so list order is unrelated to address order.
+	poolSize := nExprs*exprLen*2 + 16
+	pool := make([]mach.Addr, poolSize)
+	for i := range pool {
+		pool[i] = b.Alloc(16, 16)
+	}
+	b.Rand().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	poolNext := 0
+	var cells []mach.Addr
+	cons := func(car, cdr mach.Addr, typ, val mach.Word) mach.Addr {
+		c := pool[poolNext]
+		poolNext++
+		cells = append(cells, c)
+		b.SetPC(pcBuild)
+		b.Store(c+0, car, NoReg, NoReg)
+		b.Store(c+4, cdr, NoReg, NoReg)
+		b.Store(c+8, typ, NoReg, NoReg)
+		b.Store(c+12, val, NoReg, NoReg)
+		return c
+	}
+
+	// Build expression lists: (op a1 a2 ... aN) with small int atoms.
+	exprs := make([]mach.Addr, nExprs)
+	for e := range exprs {
+		var list mach.Addr
+		for i := 0; i < exprLen; i++ {
+			atom := cons(0, 0, typeInt, mach.Word(b.Rand().Intn(1000)))
+			list = cons(atom, list, typeCons, 0)
+		}
+		exprs[e] = list
+	}
+
+	// eval: walk the list, branching on each cell's type tag, summing
+	// atom values.
+	eval := func(list mach.Addr) {
+		cur := list
+		var dep Reg = NoReg
+		var acc Reg = NoReg
+		for cur != 0 {
+			b.SetPC(pcLoop)
+			b.Branch(dep, true)
+			car := b.Load(cur+0, dep)
+			carAddr := b.image.ReadWord(cur + 0)
+			typ := b.Load(carAddr+8, car)
+			tv := b.image.ReadWord(carAddr + 8)
+			b.Branch(typ, tv == typeInt)
+			if tv == typeInt {
+				v := b.Load(carAddr+12, car)
+				if acc == NoReg {
+					acc = v
+				} else {
+					acc = b.ALU(acc, v)
+				}
+			}
+			cdr := b.Load(cur+4, dep)
+			cur = b.image.ReadWord(cur + 4)
+			dep = cdr
+		}
+		b.SetPC(pcLoop + 0x40)
+		b.Branch(dep, false)
+	}
+
+	// mark: sweep every cell, setting the mark bit in the type word.
+	mark := func() {
+		for _, c := range cells {
+			b.SetPC(pcLoop2)
+			b.Branch(NoReg, true)
+			t := b.Load(c+8, NoReg)
+			tv := b.image.ReadWord(c + 8)
+			b.Store(c+8, tv|0x100, NoReg, t)
+		}
+		for _, c := range cells {
+			b.SetPC(pcLoop3)
+			b.Branch(NoReg, true)
+			t := b.Load(c+8, NoReg)
+			tv := b.image.ReadWord(c + 8)
+			b.Store(c+8, tv&^mach.Word(0x100), NoReg, t)
+		}
+	}
+
+	for rep := 0; rep < repeats; rep++ {
+		for e, list := range exprs {
+			eval(list)
+			if (e+1)%gcEvery == 0 {
+				mark()
+			}
+		}
+	}
+	return b.Program("spec95.130.li")
+}
