@@ -38,6 +38,7 @@ func reportGeomeans(b *testing.B, t *Table, metric string) {
 }
 
 func BenchmarkFig03Compressibility(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale})
 		t, err := s.Figure3()
@@ -57,6 +58,7 @@ func BenchmarkFig03Compressibility(b *testing.B) {
 }
 
 func BenchmarkFig09BaselineSetup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if BaselineDescription() == "" {
 			b.Fatal("empty baseline description")
@@ -65,6 +67,7 @@ func BenchmarkFig09BaselineSetup(b *testing.B) {
 }
 
 func BenchmarkFig10MemoryTraffic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale})
 		t, err := s.Figure10()
@@ -78,6 +81,7 @@ func BenchmarkFig10MemoryTraffic(b *testing.B) {
 }
 
 func BenchmarkFig11ExecutionTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale})
 		t, err := s.Figure11()
@@ -91,6 +95,7 @@ func BenchmarkFig11ExecutionTime(b *testing.B) {
 }
 
 func BenchmarkFig12L1Misses(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale})
 		t, err := s.Figure12()
@@ -104,6 +109,7 @@ func BenchmarkFig12L1Misses(b *testing.B) {
 }
 
 func BenchmarkFig13L2Misses(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale})
 		t, err := s.Figure13()
@@ -117,6 +123,7 @@ func BenchmarkFig13L2Misses(b *testing.B) {
 }
 
 func BenchmarkFig14MissImportance(b *testing.B) {
+	b.ReportAllocs()
 	// Restrict to a representative subset: Figure 14 needs two full runs
 	// per benchmark x configuration.
 	benches := []string{"olden.health", "olden.treeadd", "spec2000.300.twolf"}
@@ -134,6 +141,7 @@ func BenchmarkFig14MissImportance(b *testing.B) {
 
 func BenchmarkFig15ReadyQueue(b *testing.B) {
 	benches := []string{"olden.health", "olden.treeadd", "spec95.130.li"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSuite(SuiteOptions{Scale: benchScale, Benchmarks: benches})
 		t, err := s.Figure15()
@@ -193,13 +201,9 @@ func BenchmarkAblationVictim(b *testing.B) {
 // of dynamically accessed values would be compressible if the scheme kept
 // 7, 15 (the paper's choice) or 23 low-order bits.
 func BenchmarkAblationWidth(b *testing.B) {
-	p, err := BuildBenchmark("olden.health", benchScale)
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = p
 	for _, width := range []int{7, 15, 23} {
 		b.Run(fmt.Sprintf("payload_%d", width), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(1))
 			vals := make([]uint32, 4096)
 			addrs := make([]uint32, 4096)
@@ -230,6 +234,7 @@ func BenchmarkAblationWidth(b *testing.B) {
 
 // BenchmarkCompressionKernel measures the raw software compressor.
 func BenchmarkCompressionKernel(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(9))
 	vals := make([]uint32, 1024)
 	addrs := make([]uint32, 1024)
@@ -248,6 +253,7 @@ func BenchmarkCompressionKernel(b *testing.B) {
 // BenchmarkSimulatorThroughput measures end-to-end simulation speed
 // (instructions per wall-clock second) on the CPP configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	p, err := BuildBenchmark("olden.health", 1)
 	if err != nil {
 		b.Fatal(err)

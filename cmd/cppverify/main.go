@@ -1,0 +1,181 @@
+// Command cppverify cross-checks the cache configurations against the
+// oracle memory model on randomized and workload-derived access streams,
+// asserting the internal/verify invariants throughout. On a divergence it
+// minimizes the failing stream to a short repro and prints it.
+//
+// Usage:
+//
+//	cppverify [-seeds 100] [-ops 5000] [-configs BC,BCC,HAC,BCP,CPP]
+//	          [-workloads olden.treeadd,...] [-scale 1] [-workers N] [-v]
+//
+// Exit status is 0 when every run is clean, 1 on any divergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cppcache/internal/sim"
+	"cppcache/internal/verify"
+	"cppcache/internal/workload"
+)
+
+type job struct {
+	config string
+	stream *verify.Stream
+	label  string
+}
+
+func main() {
+	var (
+		seeds     = flag.Int("seeds", 100, "number of random stream seeds per configuration")
+		base      = flag.Int64("seed", 1, "first seed")
+		ops       = flag.Int("ops", 5000, "ops per random stream")
+		configs   = flag.String("configs", strings.Join(sim.Configs(), ","), "comma-separated configurations (also accepts VC, LCC)")
+		workloads = flag.String("workloads", "", "comma-separated workload traces to replay (\"all\" for every benchmark)")
+		scale     = flag.Int("scale", 1, "workload scale for -workloads")
+		deep      = flag.Int("deep", 256, "full-state invariant scan cadence in ops")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel verification workers")
+		verbose   = flag.Bool("v", false, "print one line per clean run")
+	)
+	flag.Parse()
+
+	cfgList := splitList(*configs)
+	if len(cfgList) == 0 {
+		fmt.Fprintln(os.Stderr, "cppverify: no configurations selected")
+		os.Exit(2)
+	}
+	known := map[string]bool{}
+	for _, c := range append(sim.Configs(), sim.ExtraConfigs()...) {
+		known[c] = true
+	}
+	for _, c := range cfgList {
+		if !known[c] {
+			fmt.Fprintf(os.Stderr, "cppverify: unknown configuration %q\n", c)
+			os.Exit(2)
+		}
+	}
+
+	var streams []*verify.Stream
+	for _, seed := range verify.Seeds(*base, *seeds) {
+		streams = append(streams, verify.RandomStream(seed, *ops))
+	}
+	for _, name := range workloadList(*workloads) {
+		s, err := verify.WorkloadStream(name, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppverify:", err)
+			os.Exit(2)
+		}
+		streams = append(streams, s)
+	}
+
+	if len(streams) == 0 {
+		fmt.Fprintln(os.Stderr, "cppverify: nothing to verify (use -seeds and/or -workloads)")
+		os.Exit(2)
+	}
+
+	jobs := make(chan job)
+	opt := verify.Options{DeepEvery: *deep}
+	var (
+		mu        sync.Mutex
+		ran       int
+		divergent []*verify.Divergence
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < max(*workers, 1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				d, err := verify.CheckConfig(j.config, j.stream, opt)
+				mu.Lock()
+				if err != nil {
+					// Config was validated up front; this is a bug.
+					fmt.Fprintln(os.Stderr, "cppverify:", err)
+					os.Exit(2)
+				}
+				ran++
+				if d != nil {
+					divergent = append(divergent, d)
+					fmt.Printf("FAIL %-4s %s: %v\n", j.config, j.label, d)
+				} else if *verbose {
+					fmt.Printf("ok   %-4s %s\n", j.config, j.label)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range streams {
+		for _, c := range cfgList {
+			jobs <- job{config: c, stream: s, label: s.Name}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if len(divergent) == 0 {
+		fmt.Printf("PASS: %d runs clean (%d streams x %d configs), invariants: %s\n",
+			ran, len(streams), len(cfgList), strings.Join(verify.Invariants(), ", "))
+		return
+	}
+
+	// Minimize the first divergence to a short repro.
+	first := divergent[0]
+	var full *verify.Stream
+	for _, s := range streams {
+		if s.Name == first.Stream {
+			full = s
+			break
+		}
+	}
+	fmt.Printf("\n%d of %d runs diverged; minimizing first failure (%s on %s)...\n",
+		len(divergent), ran, first.Config, first.Stream)
+	if full != nil {
+		fails := func(ops []verify.Op) bool {
+			d, err := verify.CheckConfig(first.Config, &verify.Stream{Name: "cand", Ops: ops}, opt)
+			return err == nil && d != nil
+		}
+		min := verify.Minimize(full, fails, 500)
+		d, _ := verify.CheckConfig(first.Config, min, opt)
+		fmt.Printf("repro (%d ops, config %s):\n%s", len(min.Ops), first.Config, verify.FormatOps(min.Ops))
+		if d != nil {
+			fmt.Printf("fails with: %v\n", d)
+		}
+	}
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.ToUpper(strings.TrimSpace(part)); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func workloadList(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if strings.EqualFold(s, "all") {
+		var out []string
+		for _, bm := range workload.All() {
+			out = append(out, bm.Name)
+		}
+		return out
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Smoke tests: build every CLI and run it once with tiny inputs, asserting
+// a zero exit status and recognizably-shaped output. These catch wiring
+// breakage (flag renames, output format drift, a main that panics) that
+// package-level unit tests cannot see.
+package cmd
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles ./cmd/<name> into t.TempDir and returns the binary path.
+func build(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// run executes the binary and returns its combined output, failing the test
+// on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// expect asserts that every needle appears in the output.
+func expect(t *testing.T, out string, needles ...string) {
+	t.Helper()
+	for _, n := range needles {
+		if !strings.Contains(out, n) {
+			t.Errorf("output missing %q:\n%s", n, out)
+		}
+	}
+}
+
+func TestSmokeCppsim(t *testing.T) {
+	bin := build(t, "cppsim")
+	out := run(t, bin, "-bench", "olden.treeadd", "-config", "CPP", "-scale", "1")
+	expect(t, out, "benchmark", "olden.treeadd", "configuration", "CPP",
+		"L1 accesses", "memory traffic", "affiliated hits")
+	out = run(t, bin, "-list")
+	expect(t, out, "olden.treeadd", "olden.health")
+	out = run(t, bin, "-bench", "olden.mst", "-config", "BC", "-scale", "1", "-functional")
+	expect(t, out, "configuration    BC")
+	if strings.Contains(out, "cycles") {
+		t.Errorf("-functional run printed cycle counts:\n%s", out)
+	}
+}
+
+func TestSmokeCppbench(t *testing.T) {
+	bin := build(t, "cppbench")
+	// Figure 3 is trace-only (no simulation), so the full 14-benchmark
+	// sweep stays cheap even in a smoke test.
+	out := run(t, bin, "-fig", "3", "-scale", "1")
+	expect(t, out, "Figure 3", "olden.treeadd")
+	out = run(t, bin, "-fig", "3", "-scale", "1", "-csv")
+	if !strings.Contains(out, ",") {
+		t.Errorf("-csv output has no commas:\n%s", out)
+	}
+}
+
+func TestSmokeCppstudy(t *testing.T) {
+	bin := build(t, "cppstudy")
+	out := run(t, bin, "-scale", "1")
+	expect(t, out, "Figure 3", "average compressible")
+}
+
+func TestSmokeCppverify(t *testing.T) {
+	bin := build(t, "cppverify")
+	out := run(t, bin, "-seeds", "3", "-ops", "800")
+	expect(t, out, "PASS", "15 runs clean", "oracle-value")
+	out = run(t, bin, "-seeds", "1", "-ops", "500", "-configs", "CPP", "-workloads", "olden.treeadd", "-v")
+	expect(t, out, "ok   CPP", "olden.treeadd", "2 runs clean")
+}

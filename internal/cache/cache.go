@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cppcache/internal/mach"
+	"cppcache/internal/memsys"
 )
 
 // Params sizes one cache.
@@ -225,4 +226,22 @@ func (c *Cache) Count() int {
 	n := 0
 	c.Lines(func(int, *Line) { n++ })
 	return n
+}
+
+// Capacity returns the number of physical frames (sets x ways).
+func (c *Cache) Capacity() int { return c.p.Sets() * c.p.Assoc }
+
+// Occupancy reports the cache's physical usage under the given label.
+// Lines store words uncompressed, so every valid line occupies its full
+// two half-words per word.
+func (c *Cache) Occupancy(level string) memsys.Occupancy {
+	lines := c.Count()
+	words := c.geom.Words()
+	return memsys.Occupancy{
+		Level:   level,
+		Lines:   lines,
+		LineCap: c.Capacity(),
+		Halves:  lines * words * 2,
+		HalfCap: c.Capacity() * words * 2,
+	}
 }

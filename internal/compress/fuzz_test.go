@@ -1,0 +1,45 @@
+package compress
+
+import (
+	"testing"
+
+	"cppcache/internal/mach"
+)
+
+// FuzzCompressRoundtrip asserts, for arbitrary (value, address) pairs, that
+// the three compressibility predicates agree and that compression is the
+// identity through decompression — the property the whole CPP design rests
+// on (§2.1): a compressed word must reconstruct bit-exactly from its 16-bit
+// form plus the accessing address.
+func FuzzCompressRoundtrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0x1000_0000))
+	f.Add(uint32(42), uint32(0x1000_0000))          // small value
+	f.Add(^uint32(0), uint32(0x1000_0000))          // -1
+	f.Add(uint32(16383), uint32(0))                 // SmallMax
+	f.Add(uint32(0xFFFF_C000), uint32(0))           // SmallMin
+	f.Add(uint32(16384), uint32(0))                 // first incompressible positive
+	f.Add(uint32(0x1000_0040), uint32(0x1000_0000)) // same-chunk pointer
+	f.Add(uint32(0x1000_8000), uint32(0x1000_0000)) // next chunk: prefix differs
+	f.Add(uint32(0xDEAD_BEEF), uint32(0x2000_0000)) // incompressible
+	f.Add(uint32(0x8000_0000), uint32(0x8000_0000)) // sign corner, self-pointer
+	f.Fuzz(func(t *testing.T, value, addr uint32) {
+		v, a := mach.Word(value), mach.Addr(addr)
+		c, ok := Compress(v, a)
+		if ok != Compressible(v, a) {
+			t.Fatalf("Compress(%#x, %#x) ok=%v, Compressible=%v", v, a, ok, !ok)
+		}
+		if ok != (IsSmall(v) || IsPointerLike(v, a)) {
+			t.Fatalf("Compressible(%#x, %#x) disagrees with its own predicates", v, a)
+		}
+		if !ok {
+			return
+		}
+		if got := Decompress(c, a); got != v {
+			t.Fatalf("roundtrip: %#x at %#x -> %#x -> %#x", v, a, c, got)
+		}
+		// The payload is always the word's own low 15 bits.
+		if c.Payload() != v&(1<<PayloadBits-1) {
+			t.Fatalf("payload of %#x is %#x, want low %d bits %#x", v, c.Payload(), PayloadBits, v&(1<<PayloadBits-1))
+		}
+	})
+}

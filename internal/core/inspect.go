@@ -1,0 +1,141 @@
+package core
+
+import (
+	"cppcache/internal/mach"
+	"cppcache/internal/memsys"
+)
+
+// This file exports read-only views of the compression cache's internal
+// state for the differential-verification harness (internal/verify), plus
+// a fault injector its tests use to prove the invariant checkers detect
+// real corruption. Nothing here is on the simulation hot path.
+
+// levelCPC maps 1 -> L1, 2 -> L2, panicking on anything else (programming
+// error in a checker).
+func (h *Hierarchy) levelCPC(level int) *cpc {
+	switch level {
+	case 1:
+		return h.l1
+	case 2:
+		return h.l2
+	}
+	panic("core: cache level must be 1 or 2")
+}
+
+// Occupancies implements memsys.Inspector. Compressed primary words and
+// affiliated words count one half-word each; uncompressed primary words
+// count two. A correct CPP level can never exceed its physical half-word
+// capacity — the freed half-slots are the only place affiliated data may
+// live.
+func (h *Hierarchy) Occupancies() []memsys.Occupancy {
+	out := make([]memsys.Occupancy, 0, 2)
+	for level, name := range map[int]string{1: "L1", 2: "L2"} {
+		c := h.levelCPC(level)
+		words := c.geom.Words()
+		occ := memsys.Occupancy{
+			Level:   name,
+			LineCap: c.p.Sets() * c.p.Assoc,
+			HalfCap: c.p.Sets() * c.p.Assoc * words * 2,
+		}
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				f := &c.sets[s][w]
+				if !f.valid {
+					continue
+				}
+				occ.Lines++
+				for i := range f.pa {
+					if f.pa[i] {
+						if f.pc[i] {
+							occ.Halves++
+						} else {
+							occ.Halves += 2
+						}
+					}
+					if f.aa[i] {
+						occ.Halves++
+					}
+				}
+			}
+		}
+		out = append(out, occ)
+	}
+	// Map iteration order is random; keep L1 first.
+	if out[0].Level != "L1" {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}
+
+// AffWords calls fn for every affiliated word resident at the given level
+// (1 or 2) with its byte address and decompressed value.
+func (h *Hierarchy) AffWords(level int, fn func(a mach.Addr, v mach.Word)) {
+	c := h.levelCPC(level)
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			f := &c.sets[s][w]
+			if !f.valid {
+				continue
+			}
+			partner := f.tag ^ c.mask
+			for i, aa := range f.aa {
+				if aa {
+					a := c.wordAddr(partner, i)
+					fn(a, f.readAff(i, a))
+				}
+			}
+		}
+	}
+}
+
+// PrimaryProbe returns the primary-stored value of the word at address a
+// at the given level, if that word is available there. It does not touch
+// LRU state.
+func (h *Hierarchy) PrimaryProbe(level int, a mach.Addr) (mach.Word, bool) {
+	c := h.levelCPC(level)
+	n := c.geom.LineNumber(a)
+	w := c.geom.WordIndex(a)
+	if f := c.frameByTag(n); f != nil && f.pa[w] {
+		return f.readPrimary(w, a), true
+	}
+	return 0, false
+}
+
+// CorruptForTest deliberately damages internal state so that
+// internal/verify's tests can demonstrate each invariant checker catches
+// real corruption. It reports whether a suitable victim was found.
+//
+// Kinds:
+//   - "aff-word": flip payload bits of the first resident affiliated word,
+//     so it decompresses to a value that no longer mirrors memory.
+//   - "aa-orphan": set an AA flag on a slot whose primary word is not
+//     stored compressed, breaking the structural storage rule.
+func (h *Hierarchy) CorruptForTest(kind string) bool {
+	for _, c := range []*cpc{h.l1, h.l2} {
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				f := &c.sets[s][w]
+				if !f.valid {
+					continue
+				}
+				for i := range f.pa {
+					switch kind {
+					case "aff-word":
+						if f.aa[i] {
+							f.ad16[i] ^= 0x1 // stays compressible, wrong value
+							return true
+						}
+					case "aa-orphan":
+						if f.pa[i] && !f.pc[i] && !f.aa[i] {
+							f.aa[i] = true
+							return true
+						}
+					default:
+						panic("core: unknown corruption kind " + kind)
+					}
+				}
+			}
+		}
+	}
+	return false
+}

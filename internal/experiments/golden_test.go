@@ -1,0 +1,120 @@
+package experiments
+
+// Golden regression pinning: the headline CPP-vs-BC metrics the paper
+// reproduction reports (traffic reduction, L1 miss-rate reduction,
+// speedup) are pinned to testdata/golden.json. The simulator is fully
+// deterministic, so any drift here means a change to the modelled
+// behaviour — intended changes regenerate the file with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and the diff of golden.json becomes part of the review.
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from current simulation results")
+
+// goldenTolerance is the allowed relative drift per metric. Runs are
+// deterministic, so this only absorbs harmless cross-platform float
+// variation; real model changes move these numbers by far more.
+const goldenTolerance = 0.02
+
+type goldenFile struct {
+	Scale      int                           `json:"scale"`
+	Benchmarks []string                      `json:"benchmarks"`
+	Metrics    map[string]map[string]float64 `json:"metrics"`
+}
+
+// goldenMetrics computes the pinned CPP-vs-BC headline numbers for each
+// benchmark row (including the geomean row).
+func goldenMetrics(t *testing.T, s *Suite) map[string]map[string]float64 {
+	t.Helper()
+	traffic, err := s.MemoryTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time, err := s.ExecutionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss1, err := s.CacheMisses(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]map[string]float64{}
+	for _, row := range traffic.Rows {
+		out[row] = map[string]float64{
+			"traffic_reduction": 1 - traffic.Get(row, "CPP"),
+			"l1_miss_reduction": 1 - miss1.Get(row, "CPP"),
+			"speedup":           1 / time.Get(row, "CPP"),
+		}
+	}
+	return out
+}
+
+func TestGoldenHeadlineMetrics(t *testing.T) {
+	benches := []string{"olden.treeadd", "olden.health", "olden.mst", "olden.perimeter"}
+	s := NewSuite(Options{Scale: 1, Benchmarks: benches})
+	got := goldenMetrics(t, s)
+	path := filepath.Join("testdata", "golden.json")
+
+	if *update {
+		gf := goldenFile{Scale: 1, Benchmarks: benches, Metrics: got}
+		data, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Scale != s.Options().Scale {
+		t.Fatalf("golden file pinned at scale %d, test runs scale %d", want.Scale, s.Options().Scale)
+	}
+	for row, metrics := range want.Metrics {
+		for name, w := range metrics {
+			g, ok := got[row][name]
+			if !ok {
+				t.Errorf("%s/%s: missing from current results", row, name)
+				continue
+			}
+			if math.Abs(g-w) > goldenTolerance*math.Max(math.Abs(w), 0.05) {
+				t.Errorf("%s/%s = %.4f, golden %.4f (tolerance %.0f%%); if intended, rerun with -update",
+					row, name, g, w, 100*goldenTolerance)
+			}
+		}
+	}
+	for row := range got {
+		if _, ok := want.Metrics[row]; !ok {
+			t.Errorf("%s: present in results but not in golden file; rerun with -update", row)
+		}
+	}
+
+	// Independent of exact pinned values, the paper's headline direction
+	// must hold: CPP moves less off-chip data than BC on the geomean.
+	if got["geomean"]["traffic_reduction"] <= 0 {
+		t.Errorf("geomean traffic reduction %.4f, want > 0 (CPP must beat BC)",
+			got["geomean"]["traffic_reduction"])
+	}
+}

@@ -99,6 +99,11 @@ func (h *Standard) Name() string { return h.cfg.Name }
 // Stats implements memsys.System.
 func (h *Standard) Stats() *memsys.Stats { return &h.stats }
 
+// Occupancies implements memsys.Inspector.
+func (h *Standard) Occupancies() []memsys.Occupancy {
+	return []memsys.Occupancy{h.l1.Occupancy("L1"), h.l2.Occupancy("L2")}
+}
+
 // lineHalves returns the bus cost of a line transfer in half-words,
 // honouring the configuration's compression setting.
 func (h *Standard) lineHalves(words []mach.Word, base mach.Addr) int64 {

@@ -213,6 +213,14 @@ func (h *Prefetch) prefetchL2(base mach.Addr) {
 	h.pf2.Fill(base, words)
 }
 
+// Occupancies implements memsys.Inspector, adding the prefetch buffers to
+// the Standard caches.
+func (h *Prefetch) Occupancies() []memsys.Occupancy {
+	return append(h.Standard.Occupancies(),
+		h.pf1.Occupancy("L1 prefetch buffer"),
+		h.pf2.Occupancy("L2 prefetch buffer"))
+}
+
 // degree returns the configured prefetch depth (at least 1).
 func (h *Prefetch) degree() int {
 	if h.pcfg.Degree < 1 {

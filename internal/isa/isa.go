@@ -56,6 +56,10 @@ func (o Op) String() string {
 // IsMem reports whether the opcode accesses memory.
 func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
 
+// Valid reports whether o is a defined opcode; decoders use it to reject
+// corrupted input.
+func (o Op) Valid() bool { return o >= 0 && o < numOps }
+
 // NoReg marks an absent register operand or destination.
 const NoReg int32 = -1
 

@@ -100,3 +100,22 @@ type Stats struct {
 func (s *Stats) MemTrafficWords() float64 {
 	return float64(s.MemReadHalves+s.MemWriteHalves) / 2
 }
+
+// Occupancy reports the physical usage of one cache structure. Counts are
+// kept at two granularities: whole lines (frames) and 16-bit half-words,
+// the unit of compressed storage. A correct hierarchy never reports
+// Lines > LineCap or Halves > HalfCap; internal/verify asserts this after
+// every access batch.
+type Occupancy struct {
+	Level   string // "L1", "L2", "L1 prefetch buffer", ...
+	Lines   int    // valid lines resident
+	LineCap int    // physical frames
+	Halves  int    // half-words of data stored (compressed words count 1)
+	HalfCap int    // physical half-word capacity
+}
+
+// Inspector is implemented by hierarchies that can report their physical
+// occupancy for invariant checking (see internal/verify).
+type Inspector interface {
+	Occupancies() []Occupancy
+}

@@ -142,6 +142,11 @@ func NewReader(r io.Reader) *Reader {
 // ErrBadMagic reports a stream that does not begin with the trace header.
 var ErrBadMagic = errors.New("trace: bad magic header")
 
+// ErrCorrupt reports a record that is structurally decodable but could not
+// have been produced by Writer (unknown opcode, or a memory-operand flag
+// that contradicts the opcode).
+var ErrCorrupt = errors.New("trace: corrupt record")
+
 // Read decodes the next instruction. It returns io.EOF at a clean end of
 // stream.
 func (tr *Reader) Read() (isa.Inst, error) {
@@ -167,6 +172,12 @@ func (tr *Reader) Read() (isa.Inst, error) {
 		return isa.Inst{}, unexpected(err)
 	}
 	in := isa.Inst{Op: isa.Op(opByte), Dest: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	if !in.Op.Valid() {
+		return isa.Inst{}, fmt.Errorf("%w: unknown opcode %#x", ErrCorrupt, opByte)
+	}
+	if (flags&flagMem != 0) != in.Op.IsMem() {
+		return isa.Inst{}, fmt.Errorf("%w: memory flag disagrees with opcode %v", ErrCorrupt, in.Op)
+	}
 	in.Taken = flags&flagTaken != 0
 	if flags&flagHasDest != 0 {
 		v, err := binary.ReadUvarint(tr.r)

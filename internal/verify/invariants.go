@@ -1,0 +1,269 @@
+package verify
+
+import (
+	"fmt"
+	"reflect"
+
+	"cppcache/internal/compress"
+	"cppcache/internal/mach"
+	"cppcache/internal/mem"
+	"cppcache/internal/memsys"
+)
+
+// Invariant names, in the order they are checked. Each has a unit test in
+// invariants_test.go demonstrating that a deliberately injected fault is
+// caught.
+const (
+	InvOracleValue       = "oracle-value"       // every load returns the ground-truth word
+	InvCompressRoundtrip = "compress-roundtrip" // compress->decompress is the identity
+	InvStatsMonotonic    = "stats-monotonic"    // counters never decrease; misses <= accesses
+	InvOccupancy         = "occupancy"          // resident data <= physical capacity
+	InvAffMirror         = "aff-mirror"         // affiliated words mirror the authoritative value
+	InvStructural        = "structural"         // CPP flag-bit and single-copy rules
+	InvTrafficAccounting = "traffic-accounting" // bus counters conserved per configuration
+	InvDrainConservation = "drain-conservation" // after drain, memory == oracle for every word
+)
+
+// Invariants lists every invariant name the checker asserts.
+func Invariants() []string {
+	return []string{
+		InvOracleValue, InvCompressRoundtrip, InvStatsMonotonic, InvOccupancy,
+		InvAffMirror, InvStructural, InvTrafficAccounting, InvDrainConservation,
+	}
+}
+
+// CheckRoundtrip asserts compress->decompress identity for one (value,
+// address) pair using the given codec; comp and decomp default to the
+// production compress package when nil. The indirection lets the
+// invariant's own test inject a broken codec and watch it get caught.
+func CheckRoundtrip(v mach.Word, a mach.Addr,
+	comp func(mach.Word, mach.Addr) (compress.Compressed, bool),
+	decomp func(compress.Compressed, mach.Addr) mach.Word) error {
+	if comp == nil {
+		comp = compress.Compress
+	}
+	if decomp == nil {
+		decomp = compress.Decompress
+	}
+	c, ok := comp(v, a)
+	if compress.Compressible(v, a) != ok {
+		return fmt.Errorf("%s: Compress(%#x, %#x) ok=%v disagrees with Compressible", InvCompressRoundtrip, v, a, ok)
+	}
+	if !ok {
+		return nil
+	}
+	if got := decomp(c, a); got != v {
+		return fmt.Errorf("%s: %#x at %#x roundtrips to %#x", InvCompressRoundtrip, v, a, got)
+	}
+	return nil
+}
+
+// statsCounters flattens every int64 counter of a Stats snapshot (nested
+// LevelStats included) into name/value pairs via reflection, so counters
+// added in future PRs are covered automatically.
+func statsCounters(s *memsys.Stats) ([]string, []int64) {
+	var names []string
+	var vals []int64
+	var walk func(prefix string, v reflect.Value)
+	walk = func(prefix string, v reflect.Value) {
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f, fv := t.Field(i), v.Field(i)
+			switch fv.Kind() {
+			case reflect.Int64:
+				names = append(names, prefix+f.Name)
+				vals = append(vals, fv.Int())
+			case reflect.Struct:
+				walk(prefix+f.Name+".", fv)
+			}
+		}
+	}
+	walk("", reflect.ValueOf(*s))
+	return names, vals
+}
+
+// CheckMonotonic asserts that no counter decreased between two snapshots
+// and that per-level misses never exceed accesses.
+func CheckMonotonic(prev, cur *memsys.Stats) error {
+	names, pv := statsCounters(prev)
+	_, cv := statsCounters(cur)
+	for i := range pv {
+		if cv[i] < pv[i] {
+			return fmt.Errorf("%s: counter %s decreased %d -> %d", InvStatsMonotonic, names[i], pv[i], cv[i])
+		}
+	}
+	for _, l := range []struct {
+		name string
+		s    memsys.LevelStats
+	}{{"L1", cur.L1}, {"L2", cur.L2}} {
+		if l.s.Misses > l.s.Accesses {
+			return fmt.Errorf("%s: %s misses %d > accesses %d", InvStatsMonotonic, l.name, l.s.Misses, l.s.Accesses)
+		}
+	}
+	return nil
+}
+
+// CheckOccupancy asserts that every reported cache structure holds no more
+// lines and no more half-words of data than it physically can.
+func CheckOccupancy(occs []memsys.Occupancy) error {
+	for _, o := range occs {
+		if o.Lines < 0 || o.Lines > o.LineCap {
+			return fmt.Errorf("%s: %s holds %d lines, capacity %d", InvOccupancy, o.Level, o.Lines, o.LineCap)
+		}
+		if o.Halves < 0 || o.Halves > o.HalfCap {
+			return fmt.Errorf("%s: %s stores %d half-words, capacity %d", InvOccupancy, o.Level, o.Halves, o.HalfCap)
+		}
+	}
+	return nil
+}
+
+// affInspector is the view of CPP internals the mirror check needs;
+// *core.Hierarchy implements it.
+type affInspector interface {
+	AffWords(level int, fn func(a mach.Addr, v mach.Word))
+	PrimaryProbe(level int, a mach.Addr) (mach.Word, bool)
+}
+
+// CheckAffMirrors asserts that every affiliated word is byte-identical to
+// the authoritative copy of that word — the value a demand access would be
+// required to return were it served from the mirror:
+//
+//   - an L1 affiliated word must match the L2 primary copy if one exists,
+//     else main memory (its own line is never L1-primary-resident, by the
+//     single-copy rule);
+//   - an L2 affiliated word must match main memory. Words whose L1 primary
+//     copy is available are skipped: that copy may legitimately be dirtier,
+//     and the mirror can never serve them (the L1 hit wins first).
+func CheckAffMirrors(h affInspector, m *mem.Memory) error {
+	var firstErr error
+	for _, level := range []int{1, 2} {
+		if firstErr != nil {
+			break
+		}
+		level := level
+		h.AffWords(level, func(a mach.Addr, v mach.Word) {
+			if firstErr != nil {
+				return
+			}
+			want := m.ReadWord(a)
+			src := "memory"
+			if level == 1 {
+				if pv, ok := h.PrimaryProbe(2, a); ok {
+					want, src = pv, "L2 primary"
+				}
+			} else if _, ok := h.PrimaryProbe(1, a); ok {
+				return // shadowed by a (possibly dirty) L1 primary copy
+			}
+			if v != want {
+				firstErr = fmt.Errorf("%s: L%d affiliated word at %#x = %#x, %s holds %#x",
+					InvAffMirror, level, a, v, src, want)
+			}
+		})
+	}
+	return firstErr
+}
+
+// structuralChecker is implemented by hierarchies with internal flag-bit
+// invariants (CPP's PA/VCP/AA rules and the single-copy property).
+type structuralChecker interface {
+	CheckInvariants() error
+}
+
+// CheckStructural runs the hierarchy's own structural validation when it
+// has one.
+func CheckStructural(sys memsys.System) error {
+	sc, ok := sys.(structuralChecker)
+	if !ok {
+		return nil
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		return fmt.Errorf("%s: %w", InvStructural, err)
+	}
+	return nil
+}
+
+// CheckTraffic asserts the off-chip bus accounting rules each
+// configuration must obey. wordsL2 is the L2 line size in words (derived
+// from the occupancy report); configurations outside the paper's five are
+// skipped.
+func CheckTraffic(config string, st *memsys.Stats, wordsL2 int) error {
+	if wordsL2 <= 0 {
+		return nil
+	}
+	lineHalves := int64(2 * wordsL2)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%s: %s: %s", InvTrafficAccounting, config, fmt.Sprintf(format, args...))
+	}
+	switch config {
+	case "BC", "BCC", "HAC", "BCP", "CPP":
+		// Every demand L1 miss probes the L2 exactly once, and nothing
+		// else does.
+		if st.L2.Accesses != st.L1.Misses {
+			return fail("L2 accesses %d != L1 misses %d", st.L2.Accesses, st.L1.Misses)
+		}
+	default:
+		return nil
+	}
+	reads, misses := st.MemReadHalves, st.L2.Misses
+	switch config {
+	case "BC", "HAC":
+		// Uncompressed bus: each L2 miss moves exactly one full line in.
+		if reads != lineHalves*misses {
+			return fail("read halves %d != %d misses x %d halves/line", reads, misses, lineHalves)
+		}
+	case "CPP":
+		// §3.3: an L2 miss fetches primary + affiliated lines in exactly
+		// one uncompressed line's worth of bandwidth.
+		if reads != lineHalves*misses {
+			return fail("read halves %d != %d misses x %d halves/line", reads, misses, lineHalves)
+		}
+		// Write-backs are compressed: between 1 and 2 halves per word.
+		if max := lineHalves * st.L2.Writebacks; st.MemWriteHalves > max {
+			return fail("write halves %d > uncompressed bound %d", st.MemWriteHalves, max)
+		}
+	case "BCC":
+		// Compressed bus: at least one, at most two halves per word.
+		if min, max := int64(wordsL2)*misses, lineHalves*misses; reads < min || reads > max {
+			return fail("read halves %d outside compressed bounds [%d, %d]", reads, min, max)
+		}
+	case "BCP":
+		// Demand fills plus speculative prefetches, all whole
+		// uncompressed lines.
+		if reads < lineHalves*misses {
+			return fail("read halves %d < demand floor %d", reads, lineHalves*misses)
+		}
+		if reads%lineHalves != 0 {
+			return fail("read halves %d not a multiple of the %d-half line", reads, lineHalves)
+		}
+	}
+	return nil
+}
+
+// drainer is implemented by every hierarchy that can flush its dirty state
+// to memory for end-of-run comparison.
+type drainer interface {
+	Drain()
+}
+
+// CheckDrainConservation drains the hierarchy and asserts that main memory
+// then agrees with the oracle on every word the stream ever touched: no
+// written word was lost, duplicated into the wrong place, or corrupted on
+// its way through write-back paths.
+func CheckDrainConservation(sys memsys.System, m *mem.Memory, o *Oracle) error {
+	d, ok := sys.(drainer)
+	if !ok {
+		return nil
+	}
+	d.Drain()
+	var firstErr error
+	o.Each(func(a mach.Addr, v mach.Word) {
+		if firstErr != nil {
+			return
+		}
+		if got := m.ReadWord(a); got != v {
+			firstErr = fmt.Errorf("%s: after drain, memory[%#x] = %#x, oracle holds %#x",
+				InvDrainConservation, a, got, v)
+		}
+	})
+	return firstErr
+}

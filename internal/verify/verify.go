@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"cppcache/internal/mem"
+	"cppcache/internal/memsys"
+	"cppcache/internal/sim"
+)
+
+// Options tunes a verification run.
+type Options struct {
+	// Lat is the latency configuration; zero means the paper defaults.
+	Lat memsys.Latencies
+	// DeepEvery is the cadence (in ops) of the full-state scans
+	// (occupancy, affiliated mirrors, structural rules, traffic
+	// accounting). Cheap per-op checks always run. 0 means 256.
+	DeepEvery int
+	// Hook, when set, runs after each op is applied and before that op's
+	// checks conclude. The invariant fault-injection tests use it to
+	// corrupt state mid-run; production callers leave it nil.
+	Hook func(step int, sys memsys.System)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lat == (memsys.Latencies{}) {
+		o.Lat = memsys.DefaultLatencies()
+	}
+	if o.DeepEvery <= 0 {
+		o.DeepEvery = 256
+	}
+	return o
+}
+
+// Divergence reports the first point where a hierarchy disagreed with the
+// oracle or violated an invariant.
+type Divergence struct {
+	Config    string
+	Stream    string
+	Step      int // op index; len(ops) for end-of-run checks
+	Invariant string
+	Detail    string
+	Op        Op // the op at Step (zero for end-of-run)
+}
+
+// Error implements error.
+func (d *Divergence) Error() string {
+	where := fmt.Sprintf("op %d (%s)", d.Step, d.Op)
+	if d.Op == (Op{}) {
+		where = "end of run"
+	}
+	return fmt.Sprintf("%s on %s: %s at %s: %s", d.Config, d.Stream, d.Invariant, where, d.Detail)
+}
+
+// Check drives the stream through sys (which must be backed by m),
+// cross-checking every load against the oracle and asserting invariants.
+// It returns the first divergence, or nil if the run is clean.
+func Check(sys memsys.System, m *mem.Memory, s *Stream, opt Options) *Divergence {
+	opt = opt.withDefaults()
+	o := NewOracle()
+	diverge := func(step int, inv, detail string) *Divergence {
+		d := &Divergence{Config: sys.Name(), Stream: s.Name, Step: step, Invariant: inv, Detail: detail}
+		if step < len(s.Ops) {
+			d.Op = s.Ops[step]
+		}
+		return d
+	}
+	prev := *sys.Stats()
+
+	deep := func(step int) *Divergence {
+		if insp, ok := sys.(memsys.Inspector); ok {
+			if err := CheckOccupancy(insp.Occupancies()); err != nil {
+				return diverge(step, InvOccupancy, err.Error())
+			}
+			if err := CheckTraffic(sys.Name(), sys.Stats(), l2Words(insp)); err != nil {
+				return diverge(step, InvTrafficAccounting, err.Error())
+			}
+		}
+		if err := CheckStructural(sys); err != nil {
+			return diverge(step, InvStructural, err.Error())
+		}
+		if ai, ok := sys.(affInspector); ok {
+			if err := CheckAffMirrors(ai, m); err != nil {
+				return diverge(step, InvAffMirror, err.Error())
+			}
+		}
+		return nil
+	}
+
+	for i, op := range s.Ops {
+		val := op.Val
+		if op.Write {
+			sys.Write(op.Addr, op.Val)
+			o.Write(op.Addr, op.Val)
+		} else {
+			v, _ := sys.Read(op.Addr)
+			want := o.Read(op.Addr)
+			src := "oracle"
+			if op.Expect {
+				want, src = op.Val, "trace"
+			}
+			if v != want {
+				return diverge(i, InvOracleValue,
+					fmt.Sprintf("load %#x returned %#x, %s holds %#x", op.Addr, v, src, want))
+			}
+			// Remember trace-authoritative values so the end-of-run
+			// conservation check covers them too.
+			o.Write(op.Addr, v)
+			val = v
+		}
+		if err := CheckRoundtrip(val, op.Addr, nil, nil); err != nil {
+			return diverge(i, InvCompressRoundtrip, err.Error())
+		}
+		cur := sys.Stats()
+		if err := CheckMonotonic(&prev, cur); err != nil {
+			return diverge(i, InvStatsMonotonic, err.Error())
+		}
+		prev = *cur
+		if opt.Hook != nil {
+			opt.Hook(i, sys)
+		}
+		if (i+1)%opt.DeepEvery == 0 {
+			if d := deep(i); d != nil {
+				return d
+			}
+		}
+	}
+
+	end := len(s.Ops)
+	if d := deep(end); d != nil {
+		return d
+	}
+	if err := CheckDrainConservation(sys, m, o); err != nil {
+		return diverge(end, InvDrainConservation, err.Error())
+	}
+	return nil
+}
+
+// l2Words derives the L2 line size in words from an occupancy report (the
+// half-word capacity per frame is twice the word count).
+func l2Words(insp memsys.Inspector) int {
+	for _, o := range insp.Occupancies() {
+		if o.Level == "L2" && o.LineCap > 0 {
+			return o.HalfCap / o.LineCap / 2
+		}
+	}
+	return 0
+}
+
+// CheckConfig builds a fresh hierarchy of the named configuration over a
+// fresh memory and runs Check on it.
+func CheckConfig(config string, s *Stream, opt Options) (*Divergence, error) {
+	opt = opt.withDefaults()
+	m := mem.New()
+	sys, err := sim.NewSystem(config, m, opt.Lat)
+	if err != nil {
+		return nil, err
+	}
+	return Check(sys, m, s, opt), nil
+}
+
+// Minimize shrinks a failing stream to a short repro using greedy
+// delta-debugging: repeatedly try to delete chunks of ops, keeping any
+// deletion after which fails still reports a failure. fails must re-run
+// the checker from scratch on the candidate ops. The Expect flag is
+// cleared on candidates, because deleting earlier ops invalidates
+// trace-recorded load values; the oracle remains self-consistent under any
+// subsequence.
+func Minimize(s *Stream, fails func(ops []Op) bool, maxRuns int) *Stream {
+	ops := append([]Op(nil), s.Ops...)
+	for i := range ops {
+		ops[i].Expect = false
+	}
+	if maxRuns <= 0 {
+		maxRuns = 500
+	}
+	runs := 0
+	for chunk := (len(ops) + 1) / 2; chunk >= 1 && runs < maxRuns; chunk /= 2 {
+		for start := 0; start < len(ops) && runs < maxRuns; {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			runs++
+			if len(candidate) > 0 && fails(candidate) {
+				// Keep the deletion and retry the same window, which now
+				// holds the ops that followed it.
+				ops = candidate
+				continue
+			}
+			start += chunk
+		}
+	}
+	return &Stream{Name: s.Name + " (minimized)", Ops: ops}
+}
+
+// Seeds returns n deterministic seeds starting at base, the set cppverify
+// fans out over its worker pool.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// FormatOps renders ops one per line for repro listings.
+func FormatOps(ops []Op) string {
+	var sb strings.Builder
+	for _, op := range ops {
+		sb.WriteString(op.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
