@@ -7,25 +7,151 @@
 //	cppbench                 # all figures at the default scale
 //	cppbench -fig 10         # only Figure 10
 //	cppbench -csv -scale 2   # CSV output, smaller workloads
+//
+// It is also the simulator-performance harness: -benchjson runs every
+// cache configuration over one benchmark and writes machine-readable
+// throughput numbers (BENCH_simperf.json in this repo records a run), and
+// -cpuprofile/-memprofile capture pprof profiles of whatever work the
+// invocation does.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cppcache"
 )
 
+// perfEntry is one configuration's row in the -benchjson report.
+type perfEntry struct {
+	Config       string  `json:"config"`
+	WallNS       int64   `json:"wall_ns"`
+	Insts        int64   `json:"insts"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+	Accesses     int64   `json:"accesses"`
+	NSPerAccess  float64 `json:"ns_per_access"`
+	AllocsPerRun int64   `json:"allocs_per_run"`
+	BytesPerRun  int64   `json:"bytes_per_run"`
+}
+
+// perfReport is the -benchjson output format.
+type perfReport struct {
+	Benchmark string      `json:"benchmark"`
+	Scale     int         `json:"scale"`
+	Reps      int         `json:"reps"`
+	Configs   []perfEntry `json:"configs"`
+}
+
+// runBenchJSON measures end-to-end simulator throughput per cache
+// configuration: wall time, instructions and memory accesses retired, and
+// the Go allocator's work per run (the hot-path optimisation target).
+func runBenchJSON(path, bench string, scale, reps int) error {
+	p, err := cppcache.BuildBenchmark(bench, scale)
+	if err != nil {
+		return err
+	}
+	// One untimed warm run so lazily-built state (program cache, text
+	// pages) does not land in the first config's numbers.
+	if _, err := cppcache.RunProgram(p, cppcache.BC, cppcache.Options{Scale: scale}); err != nil {
+		return err
+	}
+	rep := perfReport{Benchmark: bench, Scale: scale, Reps: reps}
+	var before, after runtime.MemStats
+	for _, cfg := range cppcache.Configs() {
+		var res cppcache.Result
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			res, err = cppcache.RunProgram(p, cfg, cppcache.Options{Scale: scale})
+			if err != nil {
+				return err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		perRun := wall.Nanoseconds() / int64(reps)
+		accesses := res.L1Accesses
+		e := perfEntry{
+			Config:       string(cfg),
+			WallNS:       perRun,
+			Insts:        res.Instructions,
+			InstsPerSec:  float64(res.Instructions) / (float64(perRun) / 1e9),
+			Accesses:     accesses,
+			AllocsPerRun: int64(after.Mallocs-before.Mallocs) / int64(reps),
+			BytesPerRun:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+		}
+		if accesses > 0 {
+			e.NSPerAccess = float64(perRun) / float64(accesses)
+		}
+		rep.Configs = append(rep.Configs, e)
+		fmt.Fprintf(os.Stderr, "%-4s %8.2f ms/run  %10.0f insts/s  %7d allocs/run\n",
+			cfg, float64(perRun)/1e6, e.InstsPerSec, e.AllocsPerRun)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		scale   = flag.Int("scale", 0, "workload scale (0 = default)")
-		fig     = flag.Int("fig", 0, "only this figure (3, 9, 10, 11, 12, 13, 14, 15); 0 = all")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		related = flag.Bool("related", false, "also run the related-work comparison (VC, LCC) and the energy estimate")
+		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
+		fig        = flag.Int("fig", 0, "only this figure (3, 9, 10, 11, 12, 13, 14, 15); 0 = all")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		related    = flag.Bool("related", false, "also run the related-work comparison (VC, LCC) and the energy estimate")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		benchjson  = flag.String("benchjson", "", "skip the figures; measure simulator throughput per configuration and write JSON to this file")
+		benchname  = flag.String("benchname", "olden.health", "benchmark used by -benchjson")
+		benchreps  = flag.Int("benchreps", 3, "timed repetitions per configuration for -benchjson")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cppbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cppbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cppbench:", err)
+			}
+		}()
+	}
+
+	if *benchjson != "" {
+		benchScale := *scale
+		if benchScale == 0 {
+			benchScale = 1
+		}
+		if err := runBenchJSON(*benchjson, *benchname, benchScale, *benchreps); err != nil {
+			fmt.Fprintln(os.Stderr, "cppbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
 	show := func(t *cppcache.Table, err error) {

@@ -191,15 +191,15 @@ func fromSim(r sim.Result) Result {
 
 // Run simulates the named benchmark on the given cache configuration.
 func Run(benchmark string, cfg CacheConfig, opts Options) (Result, error) {
-	bm, err := workload.ByName(benchmark)
-	if err != nil {
-		return Result{}, err
-	}
 	scale := opts.Scale
 	if scale == 0 {
 		scale = workload.DefaultScale
 	}
-	return RunProgram(&Program{p: bm.Build(scale)}, cfg, opts)
+	p, err := workload.BuildShared(benchmark, scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunProgram(&Program{p: p}, cfg, opts)
 }
 
 // RunProgram simulates a custom program (built with NewTraceBuilder) on
@@ -283,19 +283,19 @@ var _ = hier.BaselineConfig // keep the dependency explicit for godoc cross-refe
 // design knobs — the affiliated-line mask (the paper uses 0x1: next-line
 // pairing) and the victim-placement policy (§3.3) — for ablation studies.
 func RunCPPVariant(benchmark string, mask uint32, victimPlacement bool, opts Options) (Result, error) {
-	bm, err := workload.ByName(benchmark)
-	if err != nil {
-		return Result{}, err
-	}
 	scale := opts.Scale
 	if scale == 0 {
 		scale = workload.DefaultScale
+	}
+	prog, err := workload.BuildShared(benchmark, scale)
+	if err != nil {
+		return Result{}, err
 	}
 	lat := memsys.DefaultLatencies()
 	if opts.HalveMissPenalty {
 		lat = lat.Halved()
 	}
-	r, err := sim.RunCPPVariant(bm.Build(scale), lat, cpu.DefaultParams(), mask, victimPlacement)
+	r, err := sim.RunCPPVariant(prog, lat, cpu.DefaultParams(), mask, victimPlacement)
 	if err != nil {
 		return Result{}, err
 	}

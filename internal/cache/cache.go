@@ -55,7 +55,10 @@ type Line struct {
 // Addr returns the base byte address of the line.
 func (l *Line) Addr(g mach.LineGeom) mach.Addr { return g.NumberToAddr(l.Tag) }
 
-// Evicted describes a line displaced by Fill.
+// Evicted describes a line displaced by Fill or Invalidate. Data aliases a
+// scratch buffer owned by the cache: it is valid until that cache's next
+// Fill or Invalidate, which is as long as every write-back path needs it.
+// Callers that retain the words longer must copy them.
 type Evicted struct {
 	Valid bool
 	Dirty bool
@@ -70,6 +73,7 @@ type Cache struct {
 	sets    [][]Line
 	tick    uint64
 	setMask mach.Addr
+	evBuf   []mach.Word // backs Evicted.Data; see Evicted
 }
 
 // New builds a cache, validating the parameters.
@@ -84,6 +88,7 @@ func New(p Params) (*Cache, error) {
 	}
 	c.sets = make([][]Line, p.Sets())
 	words := c.geom.Words()
+	c.evBuf = make([]mach.Word, words)
 	for i := range c.sets {
 		ways := make([]Line, p.Assoc)
 		for w := range ways {
@@ -165,7 +170,8 @@ func (c *Cache) Fill(a mach.Addr, data []mach.Word) Evicted {
 	v := c.victim(a)
 	var ev Evicted
 	if v.Valid {
-		ev = Evicted{Valid: true, Dirty: v.Dirty, Tag: v.Tag, Data: append([]mach.Word(nil), v.Data...)}
+		copy(c.evBuf, v.Data)
+		ev = Evicted{Valid: true, Dirty: v.Dirty, Tag: v.Tag, Data: c.evBuf}
 	}
 	v.Valid = true
 	v.Dirty = false
@@ -183,7 +189,8 @@ func (c *Cache) Invalidate(a mach.Addr) Evicted {
 	if l == nil {
 		return Evicted{}
 	}
-	ev := Evicted{Valid: true, Dirty: l.Dirty, Tag: l.Tag, Data: append([]mach.Word(nil), l.Data...)}
+	copy(c.evBuf, l.Data)
+	ev := Evicted{Valid: true, Dirty: l.Dirty, Tag: l.Tag, Data: c.evBuf}
 	l.Valid = false
 	l.Dirty = false
 	return ev

@@ -69,6 +69,20 @@ type Hierarchy struct {
 	l2    *cpc
 	mem   *mem.Memory
 	stats memsys.Stats
+
+	// Per-access scratch, reused so the steady-state access path performs
+	// no heap allocation. Lifetimes are disjoint by construction: probeW
+	// and affW carry L1-sized transfers into l1.install; wbPl/wbAff carry
+	// an L1 write-back into l2.install; l2Pl/l2Aff (with the memLine
+	// staging buffers) carry a memory fetch into l2.install.
+	probeW  window
+	affW    window
+	wbPl    window
+	wbAff   window
+	l2Pl    window
+	l2Aff   window
+	memLine []mach.Word
+	memAff  []mach.Word
 }
 
 var _ memsys.System = (*Hierarchy)(nil)
@@ -89,7 +103,17 @@ func New(cfg Config, m *mem.Memory) (*Hierarchy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: L2: %w", err)
 	}
-	return &Hierarchy{cfg: cfg, l1: l1, l2: l2, mem: m}, nil
+	h := &Hierarchy{cfg: cfg, l1: l1, l2: l2, mem: m}
+	w1, w2 := l1.geom.Words(), l2.geom.Words()
+	h.probeW = newWindow(w1)
+	h.affW = newWindow(w1)
+	h.wbPl = newWindow(w2)
+	h.wbAff = newWindow(w2)
+	h.l2Pl = newWindow(w2)
+	h.l2Aff = newWindow(w2)
+	h.memLine = make([]mach.Word, w2)
+	h.memAff = make([]mach.Word, w2)
+	return h, nil
 }
 
 // Name implements memsys.System.
@@ -188,13 +212,11 @@ func (h *Hierarchy) fillL1(n mach.Addr, needWord int) int {
 	pl, lat := h.serveFromL2(n, needWord)
 
 	// Affiliated prefetch data for line n^Mask rides along for free where
-	// both halves of a slot are compressible (§3.1).
-	aff := h.probeL2Window(n ^ h.cfg.Mask)
-	for i := range aff.present {
-		if aff.present[i] && !(pl.present[i] && pl.comp[i] && aff.comp[i]) {
-			aff.present[i] = false
-		}
-	}
+	// both halves of a slot are compressible (§3.1): keep exactly the
+	// slots whose primary word is present and compressible — one mask
+	// intersection over the precomputed per-line bitmaps.
+	aff, _ := h.probeL2Into(&h.affW, n^h.cfg.Mask)
+	aff.present &= aff.comp & pl.present & pl.comp
 
 	h.installL1(n, pl, aff)
 	return lat
@@ -203,16 +225,17 @@ func (h *Hierarchy) fillL1(n mach.Addr, needWord int) int {
 // promoteL1 moves line n from its affiliated place to its primary place,
 // combining the affiliated words with whatever the L2 holds on chip.
 func (h *Hierarchy) promoteL1(n mach.Addr) {
-	pl := h.probeL2Window(n) // on-chip words only; no memory access
+	pl, _ := h.probeL2Into(&h.probeW, n) // on-chip words only; no memory access
 	// No affiliated payload accompanies a promotion: the line's partner
 	// is primary-resident in L1 (it hosted the affiliated copy), so its
 	// data must not be duplicated.
-	h.installL1(n, pl, emptyWindow(h.l1.geom.Words()))
+	h.affW.reset()
+	h.installL1(n, pl, &h.affW)
 }
 
 // installL1 installs (or merges) line n with payload pl and affiliated
 // payload aff, handling eviction, write-back and victim placement.
-func (h *Hierarchy) installL1(n mach.Addr, pl, aff window) {
+func (h *Hierarchy) installL1(n mach.Addr, pl, aff *window) {
 	ev := h.l1.install(n, pl, aff, &h.stats.AffWordsPrefetchedL1)
 	if ev != nil {
 		if ev.dirty {
@@ -239,8 +262,8 @@ func (h *Hierarchy) writebackL1Victim(ev *evicted) {
 	off := h.l2.geom.WordIndex(base)
 
 	if f := h.l2.frameByTag(N); f != nil {
-		for i, p := range ev.present {
-			if !p {
+		for i := range ev.vals {
+			if !ev.has(i) {
 				continue
 			}
 			j := off + i
@@ -265,19 +288,18 @@ func (h *Hierarchy) writebackL1Victim(ev *evicted) {
 	// be served. The dirty data stays on chip; it reaches memory only
 	// when the L2 eventually evicts the line.
 	h.stats.L1WbOffChip++
-	words := h.l2.geom.Words()
-	pl := emptyWindow(words)
-	for i, p := range ev.present {
-		if !p {
+	pl := &h.wbPl
+	pl.reset()
+	for i := range ev.vals {
+		if !ev.has(i) {
 			continue
 		}
 		j := off + i
 		a := base + mach.Addr(i*mach.WordBytes)
-		pl.present[j] = true
-		pl.vals[j] = ev.vals[i]
-		pl.comp[j] = compressibleAt(ev.vals[i], a)
+		pl.set(j, ev.vals[i], compressibleAt(ev.vals[i], a))
 	}
-	h.installL2(N, pl, emptyWindow(words))
+	h.wbAff.reset()
+	h.installL2(N, pl, &h.wbAff)
 	f := h.l2.frameByTag(N)
 	if f == nil {
 		panic("core: L2 frame absent after write-back allocation")
@@ -288,7 +310,7 @@ func (h *Hierarchy) writebackL1Victim(ev *evicted) {
 // installL2 installs (or merges) L2 line N, handling the victim's
 // write-back and affiliated placement. Shared by the memory-fetch and
 // write-back-allocate paths.
-func (h *Hierarchy) installL2(N mach.Addr, pl, aff window) {
+func (h *Hierarchy) installL2(N mach.Addr, pl, aff *window) {
 	ev := h.l2.install(N, pl, aff, &h.stats.AffWordsPrefetchedL2)
 	if ev != nil {
 		if ev.dirty {

@@ -96,51 +96,75 @@ func (f *frame) setAff(w int, a mach.Addr, v mach.Word) {
 	f.ad16[w] = c
 }
 
-// window is a partial line in transit: per-slot availability, logical
-// (uncompressed) values and compressibility flags. Transfers carry logical
-// values; each cache re-compresses on installation.
+// window is a partial line in transit: per-slot availability and
+// compressibility as per-line bitmasks (precomputed once, tested with
+// single AND/shift operations on the hot path) plus the logical
+// (uncompressed) values. Transfers carry logical values; each cache
+// re-compresses on installation. Windows are scratch buffers owned by the
+// Hierarchy and reused across accesses, so the steady state allocates
+// nothing.
 type window struct {
-	present []bool
+	present uint64
+	comp    uint64
 	vals    []mach.Word
-	comp    []bool
 }
 
-func emptyWindow(words int) window {
-	return window{
-		present: make([]bool, words),
-		vals:    make([]mach.Word, words),
-		comp:    make([]bool, words),
-	}
+func newWindow(words int) window {
+	return window{vals: make([]mach.Word, words)}
 }
+
+// reset empties the window for reuse.
+func (w *window) reset() { w.present, w.comp = 0, 0 }
+
+// has reports whether slot i holds a value.
+func (w *window) has(i int) bool { return w.present&(1<<uint(i)) != 0 }
+
+// isComp reports whether slot i's value is compressible.
+func (w *window) isComp(i int) bool { return w.comp&(1<<uint(i)) != 0 }
+
+// set stores v into slot i with the given compressibility.
+func (w *window) set(i int, v mach.Word, comp bool) {
+	w.present |= 1 << uint(i)
+	if comp {
+		w.comp |= 1 << uint(i)
+	} else {
+		w.comp &^= 1 << uint(i)
+	}
+	w.vals[i] = v
+}
+
+// drop removes slot i.
+func (w *window) drop(i int) { w.present &^= 1 << uint(i) }
 
 // full reports whether every slot is present.
-func (w window) full() bool {
-	for _, p := range w.present {
-		if !p {
-			return false
-		}
+func (w *window) full() bool {
+	words := len(w.vals)
+	if words == 64 {
+		return w.present == ^uint64(0)
 	}
-	return true
+	return w.present == (uint64(1)<<uint(words))-1
 }
 
 // count returns the number of present slots.
-func (w window) count() int {
+func (w *window) count() int {
 	n := 0
-	for _, p := range w.present {
-		if p {
-			n++
-		}
+	for p := w.present; p != 0; p &= p - 1 {
+		n++
 	}
 	return n
 }
 
-// evicted describes a primary line displaced by install.
+// evicted describes a primary line displaced by install. Each cpc owns one
+// evicted scratch, valid until that level's next install.
 type evicted struct {
 	tag     mach.Addr
 	dirty   bool
-	present []bool
+	present uint64
 	vals    []mach.Word
 }
+
+// has reports whether slot i of the evicted line holds a value.
+func (ev *evicted) has(i int) bool { return ev.present&(1<<uint(i)) != 0 }
 
 // cpc is one level of the compression cache: a set-associative array of
 // frames with true-LRU replacement and primary/affiliated lookup.
@@ -151,6 +175,10 @@ type cpc struct {
 	setMask mach.Addr
 	sets    [][]frame
 	tick    uint64
+
+	// evScratch backs the *evicted returned by install; it is valid until
+	// this level's next install.
+	evScratch evicted
 }
 
 func newCPC(p cache.Params, mask mach.Addr) (*cpc, error) {
@@ -164,6 +192,12 @@ func newCPC(p cache.Params, mask mach.Addr) (*cpc, error) {
 		setMask: mach.Addr(p.Sets() - 1),
 	}
 	words := c.geom.Words()
+	if words > 64 {
+		// Transfer windows track per-slot state in 64-bit masks; 64 words
+		// (256-byte lines) is far beyond every geometry the paper sweeps.
+		return nil, fmt.Errorf("core: line size %d B exceeds the 64-word window limit", p.LineBytes)
+	}
+	c.evScratch.vals = make([]mach.Word, words)
 	c.sets = make([][]frame, p.Sets())
 	for i := range c.sets {
 		ways := make([]frame, p.Assoc)
@@ -221,7 +255,7 @@ func (c *cpc) wordAddr(n mach.Addr, w int) mach.Addr {
 // the partner line is primary-resident (§3.3: "the prefetched affiliated
 // line is discarded if it is already in the cache"). install returns the
 // displaced line, if any, for the hierarchy to write back and place.
-func (c *cpc) install(n mach.Addr, pl, aff window, prefCtr *int64) *evicted {
+func (c *cpc) install(n mach.Addr, pl, aff *window, prefCtr *int64) *evicted {
 	partner := n ^ c.mask
 	partnerResident := c.frameByTag(partner) != nil
 
@@ -230,14 +264,13 @@ func (c *cpc) install(n mach.Addr, pl, aff window, prefCtr *int64) *evicted {
 	if f == nil {
 		f = c.victim(n)
 		if f.valid {
-			ev = &evicted{
-				tag:     f.tag,
-				dirty:   f.dirty,
-				present: append([]bool(nil), f.pa...),
-				vals:    make([]mach.Word, len(f.pa)),
-			}
+			ev = &c.evScratch
+			ev.tag = f.tag
+			ev.dirty = f.dirty
+			ev.present = 0
 			for i, p := range f.pa {
 				if p {
+					ev.present |= 1 << uint(i)
 					ev.vals[i] = f.readPrimary(i, c.wordAddr(f.tag, i))
 				}
 			}
@@ -253,8 +286,8 @@ func (c *cpc) install(n mach.Addr, pl, aff window, prefCtr *int64) *evicted {
 
 	// Merge payload into empty slots only: resident words are newer
 	// (they may be dirty) than anything arriving from below.
-	for i, p := range pl.present {
-		if !p || f.pa[i] {
+	for i := range f.pa {
+		if !pl.has(i) || f.pa[i] {
 			continue
 		}
 		f.writePrimary(i, c.wordAddr(n, i), pl.vals[i])
@@ -278,8 +311,8 @@ func (c *cpc) install(n mach.Addr, pl, aff window, prefCtr *int64) *evicted {
 	// Accept affiliated prefetch data.
 	if !partnerResident {
 		prefetched := int64(0)
-		for i, p := range aff.present {
-			if !p || !f.pa[i] || !f.pc[i] || f.aa[i] {
+		for i := range f.pa {
+			if !aff.has(i) || !f.pa[i] || !f.pc[i] || f.aa[i] {
 				continue
 			}
 			v := aff.vals[i]
@@ -310,8 +343,8 @@ func (c *cpc) placeVictim(ev *evicted) bool {
 		return false
 	}
 	placed := false
-	for i, p := range ev.present {
-		if !p || !target.pa[i] || !target.pc[i] {
+	for i := range target.pa {
+		if !ev.has(i) || !target.pa[i] || !target.pc[i] {
 			continue
 		}
 		a := c.wordAddr(ev.tag, i)

@@ -2,21 +2,17 @@ package core
 
 import "cppcache/internal/mach"
 
-// probeL2Window returns the on-chip availability of L1 line n at the L2:
-// which of its words the L2 currently holds (as primary or affiliated
+// probeL2Into fills dst with the on-chip availability of L1 line n at the
+// L2: which of its words the L2 currently holds (as primary or affiliated
 // data), their logical values, and their compressibility. It never
 // triggers a fetch — the L1<->L2 interface is word-based and a partial
-// answer is acceptable (§3.1).
-func (h *Hierarchy) probeL2Window(n mach.Addr) window {
-	w, _ := h.probeL2WindowSrc(n)
-	return w
-}
-
-// probeL2WindowSrc is probeL2Window, also reporting whether the words came
-// from affiliated storage (for statistics).
-func (h *Hierarchy) probeL2WindowSrc(n mach.Addr) (window, bool) {
+// answer is acceptable (§3.1). The second result reports whether the words
+// came from affiliated storage (for statistics). dst is one of the
+// Hierarchy's scratch windows; the filled window is returned for
+// convenience.
+func (h *Hierarchy) probeL2Into(dst *window, n mach.Addr) (*window, bool) {
 	words := h.l1.geom.Words()
-	out := emptyWindow(words)
+	dst.reset()
 	base := h.l1.geom.NumberToAddr(n)
 	N := h.l2.geom.LineNumber(base)
 	off := h.l2.geom.WordIndex(base)
@@ -28,11 +24,9 @@ func (h *Hierarchy) probeL2WindowSrc(n mach.Addr) (window, bool) {
 				continue
 			}
 			a := base + mach.Addr(i*mach.WordBytes)
-			out.present[i] = true
-			out.vals[i] = f.readPrimary(j, a)
-			out.comp[i] = f.pc[j]
+			dst.set(i, f.readPrimary(j, a), f.pc[j])
 		}
-		return out, false
+		return dst, false
 	}
 	if af := h.l2.frameByTag(N ^ h.cfg.Mask); af != nil {
 		for i := 0; i < words; i++ {
@@ -41,12 +35,11 @@ func (h *Hierarchy) probeL2WindowSrc(n mach.Addr) (window, bool) {
 				continue
 			}
 			a := base + mach.Addr(i*mach.WordBytes)
-			out.present[i] = true
-			out.vals[i] = af.readAff(j, a)
-			out.comp[i] = true // affiliated words are compressible by construction
+			// Affiliated words are compressible by construction.
+			dst.set(i, af.readAff(j, a), true)
 		}
 	}
-	return out, true
+	return dst, true
 }
 
 // serveFromL2 satisfies an L1 demand for word needWord of L1 line n.
@@ -55,10 +48,10 @@ func (h *Hierarchy) probeL2WindowSrc(n mach.Addr) (window, bool) {
 // returned (§3.1: "we do not always enforce a complete line from the L2
 // cache as long as the requested data item is found"). Otherwise the L2
 // fetches from memory. Returns the payload and the total latency.
-func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (window, int) {
+func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (*window, int) {
 	h.stats.L2.Accesses++
-	pl, fromAff := h.probeL2WindowSrc(n)
-	if pl.present[needWord] {
+	pl, fromAff := h.probeL2Into(&h.probeW, n)
+	if pl.has(needWord) {
 		if fromAff {
 			h.stats.AffHitsL2++
 		}
@@ -68,8 +61,8 @@ func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (window, int) {
 	h.stats.L2.Misses++
 	base := h.l1.geom.NumberToAddr(n)
 	h.fetchL2FromMem(h.l2.geom.LineNumber(base))
-	pl = h.probeL2Window(n)
-	if !pl.present[needWord] {
+	pl, _ = h.probeL2Into(&h.probeW, n)
+	if !pl.has(needWord) {
 		panic("core: word absent after L2 memory fetch")
 	}
 	return pl, h.cfg.Lat.Mem
@@ -100,28 +93,26 @@ func (h *Hierarchy) fetchL2FromMem(N mach.Addr) {
 	partner := N ^ h.cfg.Mask
 	pbase := h.l2.geom.NumberToAddr(partner)
 
-	data := make([]mach.Word, words)
+	data := h.memLine
 	h.mem.ReadLine(base, data)
-	affData := make([]mach.Word, words)
+	affData := h.memAff
 	h.mem.ReadLine(pbase, affData)
 
 	// Bus cost: exactly one uncompressed line's worth of bandwidth; the
 	// affiliated words travel in the slack left by compressed words.
 	h.stats.MemReadHalves += int64(2 * words)
 
-	pl := emptyWindow(words)
-	aff := emptyWindow(words)
+	pl, aff := &h.l2Pl, &h.l2Aff
+	pl.reset()
+	aff.reset()
 	for i := 0; i < words; i++ {
 		a := base + mach.Addr(i*mach.WordBytes)
-		pl.present[i] = true
-		pl.vals[i] = data[i]
-		pl.comp[i] = compressibleAt(data[i], a)
+		comp := compressibleAt(data[i], a)
+		pl.set(i, data[i], comp)
 
 		pa := pbase + mach.Addr(i*mach.WordBytes)
-		if pl.comp[i] && compressibleAt(affData[i], pa) {
-			aff.present[i] = true
-			aff.vals[i] = affData[i]
-			aff.comp[i] = true
+		if comp && compressibleAt(affData[i], pa) {
+			aff.set(i, affData[i], true)
 		}
 	}
 
@@ -135,8 +126,8 @@ func (h *Hierarchy) writebackL2Victim(ev *evicted) {
 	h.stats.L2.Writebacks++
 	base := h.l2.geom.NumberToAddr(ev.tag)
 	var halves int64
-	for i, p := range ev.present {
-		if !p {
+	for i := range ev.vals {
+		if !ev.has(i) {
 			continue
 		}
 		a := base + mach.Addr(i*mach.WordBytes)

@@ -17,6 +17,8 @@ package cpu
 import (
 	"fmt"
 
+	"cppcache/internal/core"
+	"cppcache/internal/hier"
 	"cppcache/internal/isa"
 	"cppcache/internal/mach"
 	"cppcache/internal/memsys"
@@ -167,6 +169,22 @@ type Core struct {
 	d    memsys.System
 	pred *bimod
 	ic   *icache
+
+	// Devirtualized data-side fast paths: New recognises the two concrete
+	// hierarchies and calls them directly from execute, so the per-access
+	// hot path is a static call the compiler can see through instead of an
+	// interface dispatch. Unknown implementations (tests, future systems)
+	// fall back to the memsys.System interface.
+	cppD *core.Hierarchy
+	stdD *hier.Standard
+
+	// Preallocated pipeline state, reused across every cycle of Run: ROB
+	// and IFQ rings of entry values, the memory-op ordering scratch, and
+	// the register scoreboard.
+	rob      []robEntry
+	ifq      []robEntry
+	memOps   []*robEntry
+	writerOf []int64 // virtual reg -> dynamic idx of last dispatched writer, -1 if none
 }
 
 // New builds a core over the given data-memory hierarchy.
@@ -174,47 +192,81 @@ func New(p Params, d memsys.System) (*Core, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Core{
+	c := &Core{
 		p:    p,
 		d:    d,
 		pred: newBimod(p.BranchPredBits),
 		ic:   newICache(p.ICacheLines, p.ICacheLineSz),
-	}, nil
+
+		rob:    make([]robEntry, p.ROBSize),
+		ifq:    make([]robEntry, p.IFQSize),
+		memOps: make([]*robEntry, 0, p.ROBSize),
+	}
+	switch h := d.(type) {
+	case *core.Hierarchy:
+		c.cppD = h
+	case *hier.Standard:
+		c.stdD = h
+	}
+	return c, nil
 }
 
+// stallSentinel marks the front end as blocked until an unresolved
+// mispredicted branch completes.
+const stallSentinel = int64(1) << 40
+
 // Run replays the stream to completion and returns timing statistics.
+//
+// The pipeline state lives in preallocated rings (c.rob, c.ifq) and
+// scratch slices, so the steady-state loop performs no heap allocation.
+// Cycles in which no stage can make progress — every in-flight result is
+// scheduled for a later cycle and the front end is stalled — are
+// fast-forwarded to the next completion time instead of being stepped one
+// by one; the skipped cycles are behaviourally identical no-ops, and their
+// ready-queue/miss instrumentation is accumulated in closed form so the
+// statistics match single-stepping exactly.
 func (c *Core) Run(s isa.Stream) Result {
 	s.Reset()
 	var (
 		res             Result
 		cycle           int64
-		memOps          []*robEntry             // scratch, reused each cycle
-		rob             []*robEntry             // in program order; head = oldest
-		ifq             []*robEntry             // fetched, not yet dispatched
-		lastWriter      = map[int32]*robEntry{} // virtual reg -> producing entry
-		fetchStallUntil int64                   // front-end blocked until this cycle (mispredict)
+		fetchStallUntil int64 // front-end blocked until this cycle (mispredict)
 		fetchDone       bool
 		instSeq         int64
+
+		headIdx int64 // dynamic idx of the ROB head == instructions committed
+		robHead int   // ring position of the oldest ROB entry
+		robLen  int
+		ifqHead int // ring position of the oldest IFQ entry
+		ifqLen  int
+		lsqOcc  int // memory ops in the ROB not yet completed
 	)
+	rob, ifq := c.rob, c.ifq
+	robSize, ifqSize := c.p.ROBSize, c.p.IFQSize
+	for i := range c.writerOf {
+		c.writerOf[i] = -1
+	}
 
 	// Drain loop: run until the stream is exhausted and the ROB is empty.
-	for !fetchDone || len(rob) > 0 || len(ifq) > 0 {
+	for !fetchDone || robLen > 0 || ifqLen > 0 {
 		cycle++
-		if cycle > 1<<40 {
+		if cycle > stallSentinel {
 			panic("cpu: simulation did not converge")
 		}
 
 		// --- Commit: retire completed instructions in order. ---
 		committed := 0
-		for len(rob) > 0 && committed < c.p.CommitWidth {
-			head := rob[0]
+		for robLen > 0 && committed < c.p.CommitWidth {
+			head := &rob[robHead]
 			if !head.done || head.doneAt > cycle {
 				break
 			}
-			if lastWriter[head.in.Dest] == head {
-				delete(lastWriter, head.in.Dest)
+			robHead++
+			if robHead == robSize {
+				robHead = 0
 			}
-			rob = rob[1:]
+			robLen--
+			headIdx++
 			committed++
 			res.Instructions++
 		}
@@ -230,8 +282,12 @@ func (c *Core) Run(s isa.Stream) Result {
 		// Pre-scan the LSQ ordering: a memory op must wait for every
 		// older memory op to the same word when either is a store
 		// (conservative disambiguation with exact addresses).
-		memOps = memOps[:0]
-		for _, e := range rob {
+		memOps := c.memOps[:0]
+		for i, pos := 0, robHead; i < robLen; i++ {
+			e := &rob[pos]
+			if pos++; pos == robSize {
+				pos = 0
+			}
 			if e.in.Op.IsMem() {
 				memOps = append(memOps, e)
 			}
@@ -254,11 +310,15 @@ func (c *Core) Run(s isa.Stream) Result {
 			}
 		}
 
-		for _, e := range rob {
+		for i, pos := 0, robHead; i < robLen; i++ {
+			e := &rob[pos]
+			if pos++; pos == robSize {
+				pos = 0
+			}
 			if e.issued {
 				continue
 			}
-			if !c.ready(e, cycle, lastWriter, rob) {
+			if !c.ready(e, cycle, headIdx, robHead, robLen) {
 				continue
 			}
 			// The instruction sits in the ready queue this cycle,
@@ -272,29 +332,48 @@ func (c *Core) Run(s isa.Stream) Result {
 				continue
 			}
 			c.execute(e, cycle, &res)
+			if e.in.Op.IsMem() {
+				lsqOcc--
+			}
 			issued++
 		}
 
 		// --- Dispatch: IFQ -> ROB/LSQ. ---
 		dispatched := 0
-		for len(ifq) > 0 && dispatched < c.p.IssueWidth && len(rob) < c.p.ROBSize {
-			e := ifq[0]
-			if e.in.Op.IsMem() && c.lsqCount(rob) >= c.p.LSQSize {
+		for ifqLen > 0 && dispatched < c.p.IssueWidth && robLen < robSize {
+			e := &ifq[ifqHead]
+			if e.in.Op.IsMem() && lsqOcc >= c.p.LSQSize {
 				break
 			}
-			ifq = ifq[1:]
-			rob = append(rob, e)
+			ifqHead++
+			if ifqHead == ifqSize {
+				ifqHead = 0
+			}
+			ifqLen--
+			tail := robHead + robLen
+			if tail >= robSize {
+				tail -= robSize
+			}
+			rob[tail] = *e
+			robLen++
 			if e.in.Dest != isa.NoReg {
-				lastWriter[e.in.Dest] = e
+				c.setWriter(e.in.Dest, e.idx)
+			}
+			if e.in.Op.IsMem() {
+				lsqOcc++
 			}
 			dispatched++
 		}
 
 		// --- Fetch: instructions -> IFQ, stalling on mispredicts and
 		// I-cache misses. ---
+		fetched := 0
 		if cycle >= fetchStallUntil && !fetchDone {
-			fetched := 0
-			for fetched < c.p.FetchWidth && len(ifq) < c.p.IFQSize {
+			// The front end refills the whole IFQ in one cycle (the
+			// historical FetchWidth guard never bound this loop, and the
+			// pinned timing depends on that); fetched only feeds the
+			// idle-cycle progress check below.
+			for ifqLen < ifqSize {
 				in, ok := s.Next()
 				if !ok {
 					fetchDone = true
@@ -305,17 +384,21 @@ func (c *Core) Run(s isa.Stream) Result {
 					res.ICacheMisses++
 					fetchStallUntil = cycle + int64(c.p.ICacheMissLat-c.p.ICacheHitLat)
 				}
-				e := &robEntry{in: in, idx: instSeq, fetchedAt: cycle}
+				tail := ifqHead + ifqLen
+				if tail >= ifqSize {
+					tail -= ifqSize
+				}
+				ifq[tail] = robEntry{in: in, idx: instSeq, fetchedAt: cycle}
 				instSeq++
-				ifq = append(ifq, e)
+				ifqLen++
+				fetched++
 				if in.Op == isa.OpBranch {
 					res.Branches++
 					if c.pred.predict(in.PC) != in.Taken {
 						res.Mispredicts++
 						// Fetch resumes after the branch resolves;
 						// resolution is detected at issue time below.
-						e.isMiss = false
-						fetchStallUntil = 1 << 40 // blocked until resolve
+						fetchStallUntil = stallSentinel // blocked until resolve
 					}
 					c.pred.update(in.PC, in.Taken)
 					if fetchStallUntil > cycle {
@@ -328,17 +411,38 @@ func (c *Core) Run(s isa.Stream) Result {
 			}
 		}
 		// Resolve mispredict stalls: when the youngest unresolved branch
-		// completes, the front end restarts after the penalty.
-		if fetchStallUntil == 1<<40 {
+		// completes, the front end restarts after the penalty. Branches
+		// still sitting in the IFQ are by construction unissued, so any
+		// branch there keeps the stall in place.
+		if fetchStallUntil == stallSentinel {
 			resolved := true
 			var resolveAt int64
-			for _, e := range append(append([]*robEntry{}, rob...), ifq...) {
-				if e.in.Op == isa.OpBranch && (!e.done || e.doneAt > cycle) {
+			for i, pos := 0, robHead; i < robLen; i++ {
+				e := &rob[pos]
+				if pos++; pos == robSize {
+					pos = 0
+				}
+				if e.in.Op != isa.OpBranch {
+					continue
+				}
+				if !e.done || e.doneAt > cycle {
 					resolved = false
 					break
 				}
-				if e.in.Op == isa.OpBranch && e.doneAt > resolveAt {
+				if e.doneAt > resolveAt {
 					resolveAt = e.doneAt
+				}
+			}
+			if resolved {
+				for i, pos := 0, ifqHead; i < ifqLen; i++ {
+					e := &ifq[pos]
+					if pos++; pos == ifqSize {
+						pos = 0
+					}
+					if e.in.Op == isa.OpBranch {
+						resolved = false
+						break
+					}
 				}
 			}
 			if resolved {
@@ -348,7 +452,11 @@ func (c *Core) Run(s isa.Stream) Result {
 
 		// --- Instrumentation: ready-queue length during miss cycles. ---
 		missOutstanding := false
-		for _, e := range rob {
+		for i, pos := 0, robHead; i < robLen; i++ {
+			e := &rob[pos]
+			if pos++; pos == robSize {
+				pos = 0
+			}
 			if e.issued && e.isMiss && e.doneAt > cycle {
 				missOutstanding = true
 				break
@@ -359,26 +467,89 @@ func (c *Core) Run(s isa.Stream) Result {
 			res.ReadyQueueSamples++
 			res.ReadyQueueInMiss += int64(readyNotIssued)
 		}
+
+		// --- Idle-cycle fast-forward. ---
+		// If nothing moved this cycle, every time gate in the model is a
+		// "doneAt > cycle" or "cycle >= fetchStallUntil" comparison, and
+		// none of them can flip before the earliest pending completion.
+		// All intervening cycles are exact replicas of this one, so jump
+		// to just before that event and account their instrumentation in
+		// closed form.
+		if committed == 0 && issued == 0 && dispatched == 0 && fetched == 0 &&
+			(!fetchDone || robLen > 0 || ifqLen > 0) {
+			next := int64(1) << 62
+			for i, pos := 0, robHead; i < robLen; i++ {
+				e := &rob[pos]
+				if pos++; pos == robSize {
+					pos = 0
+				}
+				if e.done && e.doneAt > cycle && e.doneAt < next {
+					next = e.doneAt
+				}
+			}
+			if !fetchDone && fetchStallUntil > cycle && fetchStallUntil != stallSentinel && fetchStallUntil < next {
+				next = fetchStallUntil
+			}
+			if next == int64(1)<<62 {
+				// No pending completion and a permanently stalled front
+				// end: the state can never change again.
+				panic("cpu: simulation did not converge")
+			}
+			if skipped := next - cycle - 1; skipped > 0 {
+				if missOutstanding {
+					res.MissCycles += skipped
+					res.ReadyQueueSamples += skipped
+					res.ReadyQueueInMiss += int64(readyNotIssued) * skipped
+				}
+				cycle += skipped
+			}
+		}
 	}
 
 	res.Cycles = cycle
 	return res
 }
 
+// setWriter records idx as the last dispatched writer of register r,
+// growing the scoreboard on demand (register ids are small and dense).
+func (c *Core) setWriter(r int32, idx int64) {
+	if int(r) >= len(c.writerOf) {
+		n := len(c.writerOf) * 2
+		if n == 0 {
+			n = 256
+		}
+		for n <= int(r) {
+			n *= 2
+		}
+		grown := make([]int64, n)
+		copy(grown, c.writerOf)
+		for i := len(c.writerOf); i < n; i++ {
+			grown[i] = -1
+		}
+		c.writerOf = grown
+	}
+	c.writerOf[r] = idx
+}
+
 // ready reports whether e's register operands are available at cycle.
-func (c *Core) ready(e *robEntry, cycle int64, lastWriter map[int32]*robEntry, rob []*robEntry) bool {
+// The scoreboard stores dynamic instruction indices: a writer older than
+// the ROB head has committed (its value is architectural), and a writer at
+// or past e's own index is younger, so e reads the older committed value.
+func (c *Core) ready(e *robEntry, cycle, headIdx int64, robHead, robLen int) bool {
 	for _, src := range [2]int32{e.in.Src1, e.in.Src2} {
-		if src == isa.NoReg {
+		if src < 0 || int(src) >= len(c.writerOf) {
 			continue
 		}
-		w, ok := lastWriter[src]
-		if !ok || w == e {
-			continue // produced by a committed instruction
+		w := c.writerOf[src]
+		if w < headIdx || w >= e.idx {
+			continue // committed (or never written), or younger than e
 		}
-		if w.idx >= e.idx {
-			continue // writer is younger: e reads the committed older value
+		pos := robHead + int(w-headIdx)
+		if pos >= len(c.rob) {
+			pos -= len(c.rob)
 		}
-		if !w.done || w.doneAt > cycle {
+		we := &c.rob[pos]
+		if !we.done || we.doneAt > cycle {
 			return false
 		}
 	}
@@ -390,7 +561,7 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	var lat int
 	switch e.in.Op {
 	case isa.OpLoad:
-		v, l := c.d.Read(e.in.Addr)
+		v, l := c.read(e.in.Addr)
 		if v != e.in.Value {
 			res.ValueMismatches++
 		}
@@ -398,7 +569,7 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 		lat = l
 		e.isMiss = l > c.p.MissThreshold
 	case isa.OpStore:
-		l := c.d.Write(e.in.Addr, e.in.Value)
+		l := c.write(e.in.Addr, e.in.Value)
 		res.Stores++
 		lat = l
 		e.isMiss = l > c.p.MissThreshold
@@ -422,16 +593,27 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	e.doneAt = cycle + int64(lat)
 }
 
-// lsqCount returns the number of memory operations resident in the ROB
-// that have not yet completed (the LSQ occupancy).
-func (c *Core) lsqCount(rob []*robEntry) int {
-	n := 0
-	for _, e := range rob {
-		if e.in.Op.IsMem() && !e.done {
-			n++
-		}
+// read dispatches a data-cache read to the concrete hierarchy when it is
+// known, avoiding the interface call on the per-access hot path.
+func (c *Core) read(a mach.Addr) (mach.Word, int) {
+	if c.cppD != nil {
+		return c.cppD.Read(a)
 	}
-	return n
+	if c.stdD != nil {
+		return c.stdD.Read(a)
+	}
+	return c.d.Read(a)
+}
+
+// write is the store-side counterpart of read.
+func (c *Core) write(a mach.Addr, v mach.Word) int {
+	if c.cppD != nil {
+		return c.cppD.Write(a, v)
+	}
+	if c.stdD != nil {
+		return c.stdD.Write(a, v)
+	}
+	return c.d.Write(a, v)
 }
 
 // fuPool tracks per-cycle functional-unit availability.

@@ -87,11 +87,10 @@ func (s *Suite) program(name string) (*workload.Program, error) {
 	if ok {
 		return p, nil
 	}
-	bm, err := workload.ByName(name)
+	p, err := workload.BuildShared(name, s.opt.Scale)
 	if err != nil {
 		return nil, err
 	}
-	p = bm.Build(s.opt.Scale)
 	s.mu.Lock()
 	s.progs[name] = p
 	s.mu.Unlock()

@@ -70,6 +70,11 @@ type Standard struct {
 	stats memsys.Stats
 	g1    mach.LineGeom
 	g2    mach.LineGeom
+
+	// fetchBuf stages one L2 line fetched from memory; valid until the
+	// next memFetchL2. Every caller hands it straight to fillL2, which
+	// copies it into the cache frame.
+	fetchBuf []mach.Word
 }
 
 var _ memsys.System = (*Standard)(nil)
@@ -90,6 +95,7 @@ func NewStandard(cfg Config, m *mem.Memory) (*Standard, error) {
 	return &Standard{
 		cfg: cfg, l1: l1, l2: l2, mem: m,
 		g1: l1.Geom(), g2: l2.Geom(),
+		fetchBuf: make([]mach.Word, l2.Geom().Words()),
 	}, nil
 }
 
@@ -116,7 +122,7 @@ func (h *Standard) lineHalves(words []mach.Word, base mach.Addr) int64 {
 // memFetchL2 reads the L2 line holding a from memory, accounting traffic.
 func (h *Standard) memFetchL2(a mach.Addr) []mach.Word {
 	base := h.g2.LineAddr(a)
-	data := make([]mach.Word, h.g2.Words())
+	data := h.fetchBuf
 	h.mem.ReadLine(base, data)
 	h.stats.MemReadHalves += h.lineHalves(data, base)
 	return data

@@ -5,6 +5,12 @@
 // workload actually uses. Off-chip memory always holds values in their
 // uncompressed form (§3.1); compression happens at the bus interface,
 // which is modelled by the cache hierarchies, not here.
+//
+// Pages are reached through a two-level radix table over the 20-bit page
+// number (10 root bits, 10 leaf bits) rather than a hash map, so the
+// per-word path is two array indexations with no hashing; a last-page
+// cache short-circuits even those for the common same-page access runs
+// that cache-line fills and write-backs produce.
 package mem
 
 import "cppcache/internal/mach"
@@ -14,33 +20,73 @@ const (
 	pageBytes = pageWords * mach.WordBytes // 4 KiB pages
 	pageShift = 12                         // log2(pageBytes)
 	pageMask  = mach.Addr(pageBytes - 1)   // offset within page
+
+	// Radix split of the 20-bit page number (32 - pageShift).
+	leafBits = 10
+	leafSize = 1 << leafBits
+	leafMask = mach.Addr(leafSize - 1)
+	rootBits = 32 - pageShift - leafBits
+	rootSize = 1 << rootBits
+
+	// noPage is an impossible page key (real keys fit in 20 bits), used
+	// to invalidate the last-page cache.
+	noPage = mach.Addr(1) << (32 - pageShift)
 )
 
 type page [pageWords]mach.Word
 
+// leaf is the second radix level: pointers to 1024 consecutive pages.
+type leaf [leafSize]*page
+
 // Memory is a sparse, word-addressable 32-bit memory. The zero value is an
 // all-zero memory ready to use.
 type Memory struct {
-	pages map[mach.Addr]*page
+	root    [rootSize]*leaf
+	lastKey mach.Addr // page number of lastPage; noPage when invalid
+	last    *page
+	touched int // distinct pages allocated
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[mach.Addr]*page)}
+	return &Memory{lastKey: noPage}
 }
 
-func (m *Memory) pageFor(a mach.Addr, create bool) *page {
-	if m.pages == nil {
-		if !create {
-			return nil
-		}
-		m.pages = make(map[mach.Addr]*page)
+// Reset drops every written page, returning the memory to all-zeros while
+// keeping the top-level table for reuse. It is equivalent to New but lets
+// long-lived callers (benchmark harnesses, pooled simulations) avoid
+// re-zeroing the root.
+func (m *Memory) Reset() {
+	for i := range m.root {
+		m.root[i] = nil
 	}
-	key := a >> pageShift
-	p := m.pages[key]
-	if p == nil && create {
+	m.lastKey = noPage
+	m.last = nil
+	m.touched = 0
+}
+
+// lookup returns the page with the given page number, or nil.
+func (m *Memory) lookup(key mach.Addr) *page {
+	l := m.root[key>>leafBits]
+	if l == nil {
+		return nil
+	}
+	return l[key&leafMask]
+}
+
+// create returns the page with the given page number, allocating it (and
+// its leaf) on first touch.
+func (m *Memory) create(key mach.Addr) *page {
+	l := m.root[key>>leafBits]
+	if l == nil {
+		l = new(leaf)
+		m.root[key>>leafBits] = l
+	}
+	p := l[key&leafMask]
+	if p == nil {
 		p = new(page)
-		m.pages[key] = p
+		l[key&leafMask] = p
+		m.touched++
 	}
 	return p
 }
@@ -48,37 +94,67 @@ func (m *Memory) pageFor(a mach.Addr, create bool) *page {
 // ReadWord returns the word stored at the word-aligned address a.
 // Unwritten memory reads as zero.
 func (m *Memory) ReadWord(a mach.Addr) mach.Word {
-	a = mach.WordAlign(a)
-	p := m.pageFor(a, false)
+	key := a >> pageShift
+	if key == m.lastKey && m.last != nil {
+		return m.last[(a&pageMask)/mach.WordBytes]
+	}
+	p := m.lookup(key)
 	if p == nil {
 		return 0
 	}
+	m.lastKey = key
+	m.last = p
 	return p[(a&pageMask)/mach.WordBytes]
 }
 
 // WriteWord stores v at the word-aligned address a.
 func (m *Memory) WriteWord(a mach.Addr, v mach.Word) {
-	a = mach.WordAlign(a)
-	p := m.pageFor(a, true)
+	key := a >> pageShift
+	if key == m.lastKey && m.last != nil {
+		m.last[(a&pageMask)/mach.WordBytes] = v
+		return
+	}
+	p := m.create(key)
+	m.lastKey = key
+	m.last = p
 	p[(a&pageMask)/mach.WordBytes] = v
 }
 
 // ReadLine fills dst with the n=len(dst) consecutive words starting at the
-// word-aligned address a. The line may span page boundaries.
+// word-aligned address a. The line may span page boundaries, and addresses
+// wrap modulo 2^32 like every Addr computation.
 func (m *Memory) ReadLine(a mach.Addr, dst []mach.Word) {
 	a = mach.WordAlign(a)
+	key := noPage
+	var p *page
 	for i := range dst {
-		dst[i] = m.ReadWord(a + mach.Addr(i*mach.WordBytes))
+		ai := a + mach.Addr(i*mach.WordBytes)
+		if k := ai >> pageShift; k != key {
+			key = k
+			p = m.lookup(k)
+		}
+		if p == nil {
+			dst[i] = 0
+		} else {
+			dst[i] = p[(ai&pageMask)/mach.WordBytes]
+		}
 	}
 }
 
 // WriteLine stores the words of src at consecutive addresses from a.
 func (m *Memory) WriteLine(a mach.Addr, src []mach.Word) {
 	a = mach.WordAlign(a)
+	key := noPage
+	var p *page
 	for i, v := range src {
-		m.WriteWord(a+mach.Addr(i*mach.WordBytes), v)
+		ai := a + mach.Addr(i*mach.WordBytes)
+		if k := ai >> pageShift; k != key {
+			key = k
+			p = m.create(k)
+		}
+		p[(ai&pageMask)/mach.WordBytes] = v
 	}
 }
 
 // PagesTouched returns the number of distinct 4 KiB pages ever written.
-func (m *Memory) PagesTouched() int { return len(m.pages) }
+func (m *Memory) PagesTouched() int { return m.touched }

@@ -54,12 +54,27 @@ type B struct {
 	arenaNext int
 }
 
-// NewBuilder returns an empty builder with a deterministic RNG.
+// NewBuilder returns an empty builder with a deterministic RNG. The trace
+// array starts with room for a typical scale-1 benchmark so early emission
+// does not repeatedly regrow it; Grow raises the reservation when the
+// generator knows its size up front.
 func NewBuilder(seed int64) *B {
 	return &B{
+		insts: make([]isa.Inst, 0, 1<<14),
 		image: mem.New(),
 		brk:   HeapBase,
 		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Grow reserves capacity for at least n further instructions, so
+// generators that can bound their trace length build into one flat
+// allocation instead of doubling through intermediate arrays.
+func (b *B) Grow(n int) {
+	if need := len(b.insts) + n; need > cap(b.insts) {
+		grown := make([]isa.Inst, len(b.insts), need)
+		copy(grown, b.insts)
+		b.insts = grown
 	}
 }
 

@@ -1,0 +1,38 @@
+package workload
+
+import "sync"
+
+// Programs are immutable once built (the trace is replayed, never
+// mutated, and simulations run against their own main memory, not the
+// builder image), so one built trace can back any number of concurrent
+// runs. BuildShared memoises builds by (name, scale): the experiment
+// drivers and benchmark harness construct suites repeatedly, and trace
+// generation is a significant fraction of a short run's wall clock.
+var (
+	sharedMu sync.Mutex
+	shared   = map[progKey]*Program{}
+)
+
+type progKey struct {
+	name  string
+	scale int
+}
+
+// BuildShared returns the (name, scale) program, building it on first use
+// and returning the cached instance afterwards. The returned Program must
+// be treated as read-only, which every simulator path already honours.
+func BuildShared(name string, scale int) (*Program, error) {
+	bm, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	k := progKey{name, scale}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p, ok := shared[k]; ok {
+		return p, nil
+	}
+	p := bm.Build(scale)
+	shared[k] = p
+	return p, nil
+}

@@ -25,14 +25,14 @@ func (p *Program) WriteTo(w io.Writer) (int64, error) {
 // BuildBenchmark generates one of the 14 paper workloads at the given
 // scale (0 means the experiment default).
 func BuildBenchmark(name string, scale int) (*Program, error) {
-	bm, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
 	if scale == 0 {
 		scale = workload.DefaultScale
 	}
-	return &Program{p: bm.Build(scale)}, nil
+	p, err := workload.BuildShared(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
 }
 
 // Reg is a virtual-register handle in a trace under construction.
