@@ -278,7 +278,10 @@ func BenchmarkCompressionKernel(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures end-to-end simulation speed
-// (instructions per wall-clock second) on the CPP configuration.
+// (instructions per wall-clock second) on the CPP configuration. With no
+// recorder attached this is also the observability-off guard: the obs
+// hooks must stay within noise of the pre-observability baseline
+// (BENCH_simperf.json; cmd/cppbench -against compares runs).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	p, err := BuildBenchmark("olden.health", 1)
@@ -289,6 +292,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := RunProgram(p, CPP, Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.Len()), "insts/run")
+}
+
+// BenchmarkSimulatorThroughputObserved is the same run with the full
+// observability stack attached (interval metrics + event trace), putting a
+// number on what turning observability ON costs.
+func BenchmarkSimulatorThroughputObserved(b *testing.B) {
+	b.ReportAllocs()
+	p, err := BuildBenchmark("olden.health", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oo := ObserveOptions{IntervalCycles: 10000, Trace: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ob, err := RunProgramObserved(p, CPP, Options{}, oo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(ob.Intervals()), "intervals")
 		}
 	}
 	b.ReportMetric(float64(p.Len()), "insts/run")

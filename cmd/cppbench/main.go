@@ -47,18 +47,55 @@ type perfReport struct {
 	Configs   []perfEntry `json:"configs"`
 }
 
+// compareAgainst checks a fresh throughput report against a baseline
+// report (the committed BENCH_simperf.json, typically): any configuration
+// whose per-run wall time grew by more than tolerance fails. Only
+// meaningful on the machine that produced the baseline.
+func compareAgainst(rep perfReport, baselinePath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base perfReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	byConfig := make(map[string]perfEntry, len(base.Configs))
+	for _, e := range base.Configs {
+		byConfig[e.Config] = e
+	}
+	var regressions []string
+	for _, e := range rep.Configs {
+		b, ok := byConfig[e.Config]
+		if !ok || b.WallNS <= 0 {
+			continue
+		}
+		delta := float64(e.WallNS-b.WallNS) / float64(b.WallNS)
+		fmt.Fprintf(os.Stderr, "%-4s %8.2f ms/run vs baseline %8.2f ms/run (%+.1f%%)\n",
+			e.Config, float64(e.WallNS)/1e6, float64(b.WallNS)/1e6, 100*delta)
+		if delta > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f%% slower (limit %.1f%%)", e.Config, 100*delta, 100*tolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regression vs %s: %v", baselinePath, regressions)
+	}
+	return nil
+}
+
 // runBenchJSON measures end-to-end simulator throughput per cache
 // configuration: wall time, instructions and memory accesses retired, and
 // the Go allocator's work per run (the hot-path optimisation target).
-func runBenchJSON(path, bench string, scale, reps int) error {
+func runBenchJSON(path, bench string, scale, reps int) (perfReport, error) {
 	p, err := cppcache.BuildBenchmark(bench, scale)
 	if err != nil {
-		return err
+		return perfReport{}, err
 	}
 	// One untimed warm run so lazily-built state (program cache, text
 	// pages) does not land in the first config's numbers.
 	if _, err := cppcache.RunProgram(p, cppcache.BC, cppcache.Options{Scale: scale}); err != nil {
-		return err
+		return perfReport{}, err
 	}
 	rep := perfReport{Benchmark: bench, Scale: scale, Reps: reps}
 	var before, after runtime.MemStats
@@ -70,7 +107,7 @@ func runBenchJSON(path, bench string, scale, reps int) error {
 		for i := 0; i < reps; i++ {
 			res, err = cppcache.RunProgram(p, cfg, cppcache.Options{Scale: scale})
 			if err != nil {
-				return err
+				return perfReport{}, err
 			}
 		}
 		wall := time.Since(start)
@@ -95,9 +132,9 @@ func runBenchJSON(path, bench string, scale, reps int) error {
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return rep, err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return rep, os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func main() {
@@ -111,6 +148,8 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "skip the figures; measure simulator throughput per configuration and write JSON to this file")
 		benchname  = flag.String("benchname", "olden.health", "benchmark used by -benchjson")
 		benchreps  = flag.Int("benchreps", 3, "timed repetitions per configuration for -benchjson")
+		against    = flag.String("against", "", "with -benchjson: compare the run to this baseline report and fail on regression")
+		regress    = flag.Float64("regress", 0.02, "with -against: tolerated per-config wall-time growth fraction")
 	)
 	flag.Parse()
 
@@ -146,11 +185,22 @@ func main() {
 		if benchScale == 0 {
 			benchScale = 1
 		}
-		if err := runBenchJSON(*benchjson, *benchname, benchScale, *benchreps); err != nil {
+		rep, err := runBenchJSON(*benchjson, *benchname, benchScale, *benchreps)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cppbench:", err)
 			os.Exit(1)
 		}
+		if *against != "" {
+			if err := compareAgainst(rep, *against, *regress); err != nil {
+				fmt.Fprintln(os.Stderr, "cppbench:", err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *against != "" {
+		fmt.Fprintln(os.Stderr, "cppbench: -against requires -benchjson")
+		os.Exit(2)
 	}
 
 	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	cppsim -bench olden.health -config CPP [-scale 4] [-halved] [-functional]
+//	cppsim -workload olden.health -config CPP [-scale 4] [-halved] [-functional]
+//
+// Workload names may be abbreviated to any unambiguous suffix: "mst"
+// resolves to "olden.mst". Observability flags stream interval metrics and
+// an event trace to files:
+//
+//	cppsim -workload mst -config cpp -metrics-out m.csv -trace-out t.json -interval 10000
 package main
 
 import (
@@ -15,14 +21,62 @@ import (
 	"cppcache"
 )
 
+// usageError prints the message followed by flag usage and exits 2, the
+// conventional bad-invocation status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cppsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// resolveWorkload maps name to a registered workload: an exact match wins;
+// otherwise a unique dot-suffix match ("mst" -> "olden.mst") is accepted.
+func resolveWorkload(name string) (string, error) {
+	names := cppcache.Benchmarks()
+	var candidates []string
+	for _, n := range names {
+		if n == name {
+			return n, nil
+		}
+		if strings.HasSuffix(n, "."+name) {
+			candidates = append(candidates, n)
+		}
+	}
+	switch len(candidates) {
+	case 1:
+		return candidates[0], nil
+	case 0:
+		return "", fmt.Errorf("unknown workload %q (run -list for the full set)", name)
+	default:
+		return "", fmt.Errorf("ambiguous workload %q: matches %s", name, strings.Join(candidates, ", "))
+	}
+}
+
+// knownConfig reports whether name is a recognised cache configuration.
+func knownConfig(name cppcache.CacheConfig) bool {
+	for _, c := range append(cppcache.Configs(), cppcache.ExtraConfigs()...) {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	var (
-		bench      = flag.String("bench", "olden.health", "benchmark name (see -list)")
-		config     = flag.String("config", "CPP", "cache configuration: BC, BCC, HAC, BCP or CPP")
-		scale      = flag.Int("scale", 0, "workload scale (0 = default)")
-		halved     = flag.Bool("halved", false, "halve the miss penalties (Figure 14 methodology)")
-		functional = flag.Bool("functional", false, "skip the pipeline model (faster; no cycle counts)")
-		list       = flag.Bool("list", false, "list benchmarks and exit")
+		workloadFlag = flag.String("workload", "", "workload name or unambiguous suffix (see -list)")
+		bench        = flag.String("bench", "", "alias for -workload (kept for compatibility)")
+		config       = flag.String("config", "CPP", "cache configuration: BC, BCC, HAC, BCP, CPP, VC or LCC")
+		scale        = flag.Int("scale", 0, "workload scale (0 = default)")
+		halved       = flag.Bool("halved", false, "halve the miss penalties (Figure 14 methodology)")
+		functional   = flag.Bool("functional", false, "skip the pipeline model (faster; no cycle counts)")
+		list         = flag.Bool("list", false, "list benchmarks and exit")
+
+		metricsOut = flag.String("metrics-out", "", "write interval metrics CSV to this file (requires -interval)")
+		traceOut   = flag.String("trace-out", "", "write Chrome trace_event JSON to this file")
+		interval   = flag.Int64("interval", 0, "metrics snapshot cadence in cycles (ops when -functional)")
+		traceCap   = flag.Int("trace-cap", 0, "event-ring capacity (0 = 65536; requires -trace-out)")
+		hist       = flag.Bool("hist", false, "print latency histograms (pipeline mode only)")
 	)
 	flag.Parse()
 
@@ -33,11 +87,66 @@ func main() {
 		return
 	}
 
-	res, err := cppcache.Run(*bench, cppcache.CacheConfig(strings.ToUpper(*config)), cppcache.Options{
+	if flag.NArg() > 0 {
+		usageError("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
+	if *workloadFlag != "" && *bench != "" && *workloadFlag != *bench {
+		usageError("-workload %q and -bench %q disagree; use one", *workloadFlag, *bench)
+	}
+	name := *workloadFlag
+	if name == "" {
+		name = *bench
+	}
+	if name == "" {
+		name = "olden.health"
+	}
+	resolved, err := resolveWorkload(name)
+	if err != nil {
+		usageError("%v", err)
+	}
+
+	cfg := cppcache.CacheConfig(strings.ToUpper(*config))
+	if !knownConfig(cfg) {
+		usageError("unknown configuration %q (known: BC, BCC, HAC, BCP, CPP, VC, LCC)", *config)
+	}
+
+	if *metricsOut != "" && *interval <= 0 {
+		usageError("-metrics-out requires -interval > 0 (the snapshot cadence)")
+	}
+	if *interval < 0 {
+		usageError("-interval must be positive (got %d)", *interval)
+	}
+	if *interval > 0 && *metricsOut == "" {
+		usageError("-interval without -metrics-out would collect metrics nobody reads; add -metrics-out FILE")
+	}
+	if *traceCap != 0 && *traceOut == "" {
+		usageError("-trace-cap requires -trace-out")
+	}
+	if *traceCap < 0 {
+		usageError("-trace-cap must be positive (got %d)", *traceCap)
+	}
+	if *hist && *functional {
+		usageError("-hist needs the pipeline model; drop -functional")
+	}
+
+	opts := cppcache.Options{
 		Scale:            *scale,
 		HalveMissPenalty: *halved,
 		FunctionalOnly:   *functional,
-	})
+	}
+	observing := *metricsOut != "" || *traceOut != "" || *hist
+
+	var res cppcache.Result
+	var ob *cppcache.Observation
+	if observing {
+		res, ob, err = cppcache.RunObserved(resolved, cfg, opts, cppcache.ObserveOptions{
+			IntervalCycles: *interval,
+			Trace:          *traceOut != "",
+			TraceCap:       *traceCap,
+		})
+	} else {
+		res, err = cppcache.Run(resolved, cfg, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cppsim:", err)
 		os.Exit(1)
@@ -66,5 +175,25 @@ func main() {
 	if !*functional {
 		fmt.Printf("mispredicts      %d\n", res.Mispredicts)
 		fmt.Printf("ready queue/miss %.2f\n", res.AvgReadyQueueInMiss)
+	}
+
+	if ob != nil {
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, []byte(ob.MetricsCSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "cppsim: write metrics:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics          %s (%d intervals of %d)\n", *metricsOut, ob.Intervals(), *interval)
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, ob.ChromeTrace(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "cppsim: write trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace            %s (%d events dropped)\n", *traceOut, ob.TraceDropped())
+		}
+		if *hist {
+			fmt.Print(ob.HistogramsText())
+		}
 	}
 }

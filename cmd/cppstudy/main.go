@@ -4,25 +4,122 @@
 // Usage:
 //
 //	cppstudy [-scale 4] [-widths]
+//
+// Phase-plot mode instead runs one workload on several configurations
+// with interval metrics attached and prints per-phase behaviour plus a
+// difference table (last configuration minus first):
+//
+//	cppstudy -phase olden.mst -configs BC,CPP -interval 10000 [-out prefix]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cppcache"
 	"cppcache/internal/compress"
+	"cppcache/internal/cpu"
 	"cppcache/internal/isa"
+	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
+	"cppcache/internal/sim"
+	"cppcache/internal/stats"
 	"cppcache/internal/workload"
 )
+
+// phaseCols are the derived per-interval metrics the phase table shows.
+var phaseCols = []string{"ipc", "l1_miss_rate", "traffic_words", "comp_ratio", "prefetch_hit_rate"}
+
+// phaseTable renders one observed run's snapshots as a table with one row
+// per interval ordinal, so tables from different configurations share row
+// names and can be diffed.
+func phaseTable(config string, snaps []obs.Snapshot) *stats.Table {
+	rows := make([]string, len(snaps))
+	for i := range snaps {
+		rows[i] = fmt.Sprintf("interval-%03d", i)
+	}
+	t := stats.NewTable(config, rows, phaseCols)
+	for i, s := range snaps {
+		t.Set(rows[i], "ipc", s.IPC())
+		t.Set(rows[i], "l1_miss_rate", s.L1MissRate())
+		t.Set(rows[i], "traffic_words", s.TrafficWords())
+		t.Set(rows[i], "comp_ratio", s.CompRatio())
+		t.Set(rows[i], "prefetch_hit_rate", s.PrefetchHitRate())
+	}
+	return t
+}
+
+// runPhase executes the phase-plot mode and returns an exit status.
+func runPhase(bench string, configs []string, interval int64, scale int, outPrefix string) int {
+	if interval <= 0 {
+		fmt.Fprintln(os.Stderr, "cppstudy: -phase requires -interval > 0")
+		return 2
+	}
+	if len(configs) < 1 {
+		fmt.Fprintln(os.Stderr, "cppstudy: -configs must name at least one configuration")
+		return 2
+	}
+	sc := scale
+	if sc == 0 {
+		sc = workload.DefaultScale
+	}
+	p, err := workload.BuildShared(bench, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppstudy:", err)
+		return 1
+	}
+	lat := memsys.DefaultLatencies()
+	tables := make([]*stats.Table, 0, len(configs))
+	for _, cfg := range configs {
+		rec := obs.New(obs.Config{Interval: interval})
+		r, err := sim.RunObserved(p, cfg, lat, cpu.DefaultParams(), rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppstudy:", err)
+			return 1
+		}
+		snaps := rec.Snapshots()
+		fmt.Printf("%s on %s: %d cycles, %d intervals of %d\n",
+			r.Benchmark, r.Config, r.CPU.Cycles, len(snaps), interval)
+		t := phaseTable(cfg, snaps)
+		tables = append(tables, t)
+		if outPrefix != "" {
+			name := fmt.Sprintf("%s-%s.csv", outPrefix, strings.ToLower(cfg))
+			if err := os.WriteFile(name, []byte(rec.MetricsCSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "cppstudy:", err)
+				return 1
+			}
+			fmt.Printf("  wrote %s\n", name)
+		}
+	}
+	fmt.Println()
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	if len(tables) >= 2 {
+		d := tables[len(tables)-1].Diff(tables[0])
+		d.Note = "per-interval difference over the intervals both runs reached"
+		fmt.Println(d)
+	}
+	return 0
+}
 
 func main() {
 	var (
 		scale  = flag.Int("scale", 0, "workload scale (0 = default)")
 		widths = flag.Bool("widths", false, "also sweep the compressed-word width")
+
+		phase    = flag.String("phase", "", "phase-plot mode: run this workload with interval metrics")
+		configs  = flag.String("configs", "BC,CPP", "comma-separated configurations for -phase")
+		interval = flag.Int64("interval", 10000, "snapshot cadence in cycles for -phase")
+		out      = flag.String("out", "", "prefix for per-config interval CSVs written by -phase")
 	)
 	flag.Parse()
+
+	if *phase != "" {
+		os.Exit(runPhase(*phase, strings.Split(*configs, ","), *interval, *scale, *out))
+	}
 
 	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
 	t, err := s.Figure3()

@@ -27,6 +27,7 @@ import (
 	"cppcache/internal/hier"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 	"cppcache/internal/sim"
 	"cppcache/internal/workload"
 )
@@ -221,6 +222,81 @@ func RunProgram(p *Program, cfg CacheConfig, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return fromSim(r), nil
+}
+
+// ObserveOptions configure the observability layer of an observed run.
+type ObserveOptions struct {
+	// IntervalCycles is the metrics snapshot cadence in simulated cycles
+	// (memory ops in functional mode). <= 0 disables interval metrics.
+	IntervalCycles int64
+	// Trace enables the structured event trace (ring-buffered; the
+	// newest events win when the ring fills).
+	Trace bool
+	// TraceCap overrides the event-ring capacity (0 = 65536 events).
+	TraceCap int
+}
+
+// Observation wraps the recorder of a completed observed run and renders
+// its three products: interval metrics, the event trace and the latency
+// histograms.
+type Observation struct {
+	rec *obs.Recorder
+}
+
+// MetricsCSV renders the interval metric series as CSV with a header row.
+// Counters are per-interval deltas; each column sums to the run total.
+func (o *Observation) MetricsCSV() string { return o.rec.MetricsCSV() }
+
+// MetricsJSON renders the interval metric series as a JSON array.
+func (o *Observation) MetricsJSON() ([]byte, error) { return o.rec.MetricsJSON() }
+
+// ChromeTrace renders the retained events in Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto (1 simulated cycle = 1 us).
+func (o *Observation) ChromeTrace() []byte { return o.rec.ChromeTrace() }
+
+// TraceDropped reports how many events were dropped because the ring
+// buffer was full.
+func (o *Observation) TraceDropped() int64 { return o.rec.TraceDropped() }
+
+// HistogramsText renders the latency histograms for terminal output.
+func (o *Observation) HistogramsText() string { return o.rec.HistogramsText() }
+
+// Intervals returns how many metric snapshots were taken.
+func (o *Observation) Intervals() int { return len(o.rec.Snapshots()) }
+
+// RunObserved is Run with the observability layer attached: interval
+// metrics, event tracing and latency histograms per ObserveOptions.
+// Attaching a recorder never changes simulation results.
+func RunObserved(benchmark string, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = workload.DefaultScale
+	}
+	p, err := workload.BuildShared(benchmark, scale)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return RunProgramObserved(&Program{p: p}, cfg, opts, oo)
+}
+
+// RunProgramObserved is RunProgram with the observability layer attached.
+func RunProgramObserved(p *Program, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
+	lat := memsys.DefaultLatencies()
+	if opts.HalveMissPenalty {
+		lat = lat.Halved()
+	}
+	rec := obs.New(obs.Config{Interval: oo.IntervalCycles, Trace: oo.Trace, TraceCap: oo.TraceCap})
+	var r sim.Result
+	var err error
+	if opts.FunctionalOnly {
+		r, err = sim.RunFunctionalObserved(p.p, string(cfg), lat, rec)
+	} else {
+		r, err = sim.RunObserved(p.p, string(cfg), lat, cpu.DefaultParams(), rec)
+	}
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return fromSim(r), &Observation{rec: rec}, nil
 }
 
 // NewSystem builds a standalone cache hierarchy of the named configuration

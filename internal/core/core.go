@@ -25,6 +25,7 @@ import (
 	"cppcache/internal/mach"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 )
 
 // Config describes a CPP hierarchy.
@@ -69,6 +70,10 @@ type Hierarchy struct {
 	l2    *cpc
 	mem   *mem.Memory
 	stats memsys.Stats
+
+	// obs, when non-nil, receives structured events and fill-word
+	// compressibility counts; a nil recorder costs one branch per hook.
+	obs *obs.Recorder
 
 	// Per-access scratch, reused so the steady-state access path performs
 	// no heap allocation. Lifetimes are disjoint by construction: probeW
@@ -122,6 +127,14 @@ func (h *Hierarchy) Name() string { return h.cfg.Name }
 // Stats implements memsys.System.
 func (h *Hierarchy) Stats() *memsys.Stats { return &h.stats }
 
+// SetRecorder implements obs.Attachable: it attaches the observability
+// recorder (nil detaches) and connects the statistics block for interval
+// snapshotting.
+func (h *Hierarchy) SetRecorder(r *obs.Recorder) {
+	h.obs = r
+	r.AttachStats(&h.stats)
+}
+
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
@@ -140,6 +153,7 @@ func (h *Hierarchy) Read(a mach.Addr) (mach.Word, int) {
 	if af := h.l1.frameByTag(n ^ h.cfg.Mask); af != nil && af.aa[w] {
 		h.l1.touch(af)
 		h.stats.AffHitsL1++
+		h.obs.Event(obs.EvAffHitL1, a, 0)
 		return af.readAff(w, a), h.cfg.Lat.AffHit
 	}
 
@@ -173,6 +187,7 @@ func (h *Hierarchy) Write(a mach.Addr, v mach.Word) int {
 		h.l1.touch(af)
 		h.stats.AffHitsL1++
 		h.stats.Promotions++
+		h.obs.Event(obs.EvPromote, a, 0)
 		h.promoteL1(n)
 		f := h.l1.frameByTag(n)
 		if f == nil || !f.pa[w] {
@@ -201,6 +216,7 @@ func (h *Hierarchy) writePrimaryWord(f *frame, w int, a mach.Addr, v mach.Word) 
 	if wasComp && !f.pc[w] && f.aa[w] {
 		f.aa[w] = false
 		h.stats.ConflictEvictions++
+		h.obs.Event(obs.EvCompTransition, a, 0)
 	}
 	f.dirty = true
 }
@@ -236,20 +252,40 @@ func (h *Hierarchy) promoteL1(n mach.Addr) {
 // installL1 installs (or merges) line n with payload pl and affiliated
 // payload aff, handling eviction, write-back and victim placement.
 func (h *Hierarchy) installL1(n mach.Addr, pl, aff *window) {
+	var affBefore int64
+	if h.obs.TraceEnabled() {
+		affBefore = h.stats.AffWordsPrefetchedL1
+	}
 	ev := h.l1.install(n, pl, aff, &h.stats.AffWordsPrefetchedL1)
 	if ev != nil {
+		h.obs.Event(obs.EvEvictL1, h.l1.geom.NumberToAddr(ev.tag), b2i(ev.dirty))
 		if ev.dirty {
 			h.writebackL1Victim(ev)
 		}
 		if h.cfg.VictimPlacement {
 			if h.l1.placeVictim(ev) {
 				h.stats.AffPlacements++
+				h.obs.Event(obs.EvVictimPlace, h.l1.geom.NumberToAddr(ev.tag), 0)
 			}
+		}
+	}
+	if h.obs.TraceEnabled() {
+		h.obs.Event(obs.EvFillL1, h.l1.geom.NumberToAddr(n), int64(pl.count()))
+		if d := h.stats.AffWordsPrefetchedL1 - affBefore; d > 0 {
+			h.obs.Event(obs.EvAffPrefetch, h.l1.geom.NumberToAddr(n^h.cfg.Mask), d)
 		}
 	}
 	if !pl.full() {
 		h.stats.PartialFillsL1++
 	}
+}
+
+// b2i renders a flag as an event-aux value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // writebackL1Victim sends a dirty L1 victim's available words toward
@@ -311,15 +347,27 @@ func (h *Hierarchy) writebackL1Victim(ev *evicted) {
 // write-back and affiliated placement. Shared by the memory-fetch and
 // write-back-allocate paths.
 func (h *Hierarchy) installL2(N mach.Addr, pl, aff *window) {
+	var affBefore int64
+	if h.obs.TraceEnabled() {
+		affBefore = h.stats.AffWordsPrefetchedL2
+	}
 	ev := h.l2.install(N, pl, aff, &h.stats.AffWordsPrefetchedL2)
 	if ev != nil {
+		h.obs.Event(obs.EvEvictL2, h.l2.geom.NumberToAddr(ev.tag), b2i(ev.dirty))
 		if ev.dirty {
 			h.writebackL2Victim(ev)
 		}
 		if h.cfg.VictimPlacement {
 			if h.l2.placeVictim(ev) {
 				h.stats.AffPlacements++
+				h.obs.Event(obs.EvVictimPlace, h.l2.geom.NumberToAddr(ev.tag), 0)
 			}
+		}
+	}
+	if h.obs.TraceEnabled() {
+		h.obs.Event(obs.EvFillL2, h.l2.geom.NumberToAddr(N), int64(pl.count()))
+		if d := h.stats.AffWordsPrefetchedL2 - affBefore; d > 0 {
+			h.obs.Event(obs.EvAffPrefetch, h.l2.geom.NumberToAddr(N^h.cfg.Mask), d)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "cppcache/internal/mach"
+import (
+	"cppcache/internal/mach"
+	"cppcache/internal/obs"
+)
 
 // probeL2Into fills dst with the on-chip availability of L1 line n at the
 // L2: which of its words the L2 currently holds (as primary or affiliated
@@ -54,6 +57,7 @@ func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (*window, int) {
 	if pl.has(needWord) {
 		if fromAff {
 			h.stats.AffHitsL2++
+			h.obs.Event(obs.EvAffHitL2, h.l1.geom.NumberToAddr(n), 0)
 		}
 		h.touchL2(n)
 		return pl, h.cfg.Lat.L2Hit
@@ -105,16 +109,21 @@ func (h *Hierarchy) fetchL2FromMem(N mach.Addr) {
 	pl, aff := &h.l2Pl, &h.l2Aff
 	pl.reset()
 	aff.reset()
+	compCount := int64(0)
 	for i := 0; i < words; i++ {
 		a := base + mach.Addr(i*mach.WordBytes)
 		comp := compressibleAt(data[i], a)
 		pl.set(i, data[i], comp)
+		if comp {
+			compCount++
+		}
 
 		pa := pbase + mach.Addr(i*mach.WordBytes)
 		if comp && compressibleAt(affData[i], pa) {
 			aff.set(i, affData[i], true)
 		}
 	}
+	h.obs.FillWords(int64(words), compCount)
 
 	h.installL2(N, pl, aff)
 }

@@ -22,6 +22,7 @@ import (
 	"cppcache/internal/isa"
 	"cppcache/internal/mach"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 )
 
 // Params configures the core. The zero value is not useful; start from
@@ -178,6 +179,10 @@ type Core struct {
 	cppD *core.Hierarchy
 	stdD *hier.Standard
 
+	// obs, when non-nil, receives per-cycle metrics ticks and per-access
+	// latency observations. The nil case costs one branch per hook.
+	obs *obs.Recorder
+
 	// Preallocated pipeline state, reused across every cycle of Run: ROB
 	// and IFQ rings of entry values, the memory-op ordering scratch, and
 	// the register scoreboard.
@@ -210,6 +215,10 @@ func New(p Params, d memsys.System) (*Core, error) {
 	}
 	return c, nil
 }
+
+// SetRecorder attaches the observability recorder (nil detaches). Must be
+// called before Run.
+func (c *Core) SetRecorder(r *obs.Recorder) { c.obs = r }
 
 // stallSentinel marks the front end as blocked until an unresolved
 // mispredicted branch completes.
@@ -468,6 +477,10 @@ func (c *Core) Run(s isa.Stream) Result {
 			res.ReadyQueueInMiss += int64(readyNotIssued)
 		}
 
+		// cycleWeight is how many cycles this iteration's machine state
+		// stands for: 1, plus any cycles the fast-forward below skips.
+		cycleWeight := int64(1)
+
 		// --- Idle-cycle fast-forward. ---
 		// If nothing moved this cycle, every time gate in the model is a
 		// "doneAt > cycle" or "cycle >= fetchStallUntil" comparison, and
@@ -502,7 +515,12 @@ func (c *Core) Run(s isa.Stream) Result {
 					res.ReadyQueueInMiss += int64(readyNotIssued) * skipped
 				}
 				cycle += skipped
+				cycleWeight += skipped
 			}
+		}
+
+		if c.obs != nil {
+			c.obs.Tick(cycle, cycleWeight, robLen, res.Instructions)
 		}
 	}
 
@@ -591,6 +609,14 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	e.issued = true
 	e.done = true
 	e.doneAt = cycle + int64(lat)
+	if c.obs != nil && e.in.Op.IsMem() {
+		if e.in.Op == isa.OpLoad {
+			c.obs.ObserveLoadToUse(e.doneAt - e.fetchedAt)
+		}
+		if e.isMiss {
+			c.obs.ObserveMissService(int64(lat))
+		}
+	}
 }
 
 // read dispatches a data-cache read to the concrete hierarchy when it is

@@ -22,6 +22,7 @@ import (
 	"cppcache/internal/mach"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 )
 
 // Config describes a conventional two-level hierarchy.
@@ -71,6 +72,10 @@ type Standard struct {
 	g1    mach.LineGeom
 	g2    mach.LineGeom
 
+	// obs, when non-nil, receives structured events and fill-word
+	// compressibility counts; a nil recorder costs one branch per hook.
+	obs *obs.Recorder
+
 	// fetchBuf stages one L2 line fetched from memory; valid until the
 	// next memFetchL2. Every caller hands it straight to fillL2, which
 	// copies it into the cache frame.
@@ -105,6 +110,14 @@ func (h *Standard) Name() string { return h.cfg.Name }
 // Stats implements memsys.System.
 func (h *Standard) Stats() *memsys.Stats { return &h.stats }
 
+// SetRecorder implements obs.Attachable: it attaches the observability
+// recorder (nil detaches) and connects the statistics block for interval
+// snapshotting. Embedders (Prefetch, Victim) inherit it.
+func (h *Standard) SetRecorder(r *obs.Recorder) {
+	h.obs = r
+	r.AttachStats(&h.stats)
+}
+
 // Occupancies implements memsys.Inspector.
 func (h *Standard) Occupancies() []memsys.Occupancy {
 	return []memsys.Occupancy{h.l1.Occupancy("L1"), h.l2.Occupancy("L2")}
@@ -125,6 +138,9 @@ func (h *Standard) memFetchL2(a mach.Addr) []mach.Word {
 	data := h.fetchBuf
 	h.mem.ReadLine(base, data)
 	h.stats.MemReadHalves += h.lineHalves(data, base)
+	if h.obs != nil {
+		h.obs.FillLine(data, base)
+	}
 	return data
 }
 
@@ -151,10 +167,22 @@ func (h *Standard) l2Writeback(ev cache.Evicted) {
 // fillL2 installs an L2 line fetched from memory, handling the victim.
 func (h *Standard) fillL2(a mach.Addr, data []mach.Word) {
 	ev := h.l2.Fill(a, data)
+	if ev.Valid {
+		h.obs.Event(obs.EvEvictL2, h.g2.NumberToAddr(ev.Tag), evDirtyAux(ev.Dirty))
+	}
 	if ev.Valid && ev.Dirty {
 		h.stats.L2.Writebacks++
 		h.memWriteback(h.g2.NumberToAddr(ev.Tag), ev.Data)
 	}
+	h.obs.Event(obs.EvFillL2, h.g2.LineAddr(a), int64(h.g2.Words()))
+}
+
+// evDirtyAux renders an eviction's dirty flag as an event-aux value.
+func evDirtyAux(dirty bool) int64 {
+	if dirty {
+		return 1
+	}
+	return 0
 }
 
 // fetchIntoL1 brings the L1 line holding a into L1 and returns the total
@@ -173,9 +201,13 @@ func (h *Standard) fetchIntoL1(a mach.Addr) int {
 	off := h.g2.WordIndex(base)
 	window := l2line.Data[off : off+h.g1.Words()]
 	ev := h.l1.Fill(a, window)
+	if ev.Valid {
+		h.obs.Event(obs.EvEvictL1, h.g1.NumberToAddr(ev.Tag), evDirtyAux(ev.Dirty))
+	}
 	if ev.Valid && ev.Dirty {
 		h.l2Writeback(ev)
 	}
+	h.obs.Event(obs.EvFillL1, base, int64(h.g1.Words()))
 	return lat
 }
 

@@ -7,6 +7,7 @@ import (
 	"cppcache/internal/mach"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 )
 
 // PrefetchConfig describes the BCP hierarchy: the baseline caches plus
@@ -101,6 +102,7 @@ func (h *Prefetch) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int)
 	// L1 prefetch-buffer hit: move the line into the cache; not a miss.
 	if buf := h.pf1.Probe(a); buf != nil {
 		h.stats.PfBufHitsL1++
+		h.obs.Event(obs.EvPfBufHit, h.g1.LineAddr(a), 1)
 		data := append([]mach.Word(nil), buf.Data...)
 		h.pf1.Invalidate(a)
 		if ev := h.l1.Fill(a, data); ev.Valid && ev.Dirty {
@@ -140,6 +142,7 @@ func (h *Prefetch) fetchIntoL1WithBuffers(a mach.Addr) int {
 		if buf := h.pf2.Probe(a); buf != nil {
 			// L2 prefetch-buffer hit: move into the L2 cache.
 			h.stats.PfBufHitsL2++
+			h.obs.Event(obs.EvPfBufHit, h.g2.LineAddr(a), 2)
 			data := append([]mach.Word(nil), buf.Data...)
 			h.pf2.Invalidate(a)
 			h.fillL2(a, data)
@@ -197,6 +200,7 @@ func (h *Prefetch) prefetchL1(base mach.Addr) {
 		copy(words, l2line.Data[off:off+h.g1.Words()])
 	}
 	h.stats.PfIssuedL1++
+	h.obs.Event(obs.EvPfIssue, base, 1)
 	h.pf1.Fill(base, words)
 }
 
@@ -207,6 +211,7 @@ func (h *Prefetch) prefetchL2(base mach.Addr) {
 		return
 	}
 	h.stats.PfIssuedL2++
+	h.obs.Event(obs.EvPfIssue, base, 2)
 	words := make([]mach.Word, h.g2.Words())
 	h.mem.ReadLine(base, words)
 	h.stats.MemReadHalves += int64(2 * len(words))

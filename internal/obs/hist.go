@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets covers every int64: bucket 0 holds v <= 0, bucket i >= 1
+// holds v in [2^(i-1), 2^i - 1]; bucket 63 additionally absorbs 2^62..max.
+const histBuckets = 64
+
+// Histogram counts observations in power-of-two buckets, the standard
+// shape for latency distributions: exact at the small end (1-cycle hits
+// get their own bucket) and logarithmic toward the memory-latency tail.
+type Histogram struct {
+	Name  string
+	Count int64
+	Sum   int64
+	Max   int64
+
+	buckets [histBuckets]int64
+}
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{Name: name} }
+
+// BucketIndex returns the bucket holding v: 0 for v <= 0, else
+// 1 + floor(log2 v), capped at the last bucket.
+func BucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return -1 << 62, 0
+	case i >= histBuckets-1:
+		return 1 << (histBuckets - 2), 1<<62 - 1 + 1<<62
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.buckets[BucketIndex(v)]++
+}
+
+// Mean returns the average observed value.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Lo, Hi int64 // inclusive value range
+	Count  int64
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// String renders the histogram as an aligned text block with scaled bars.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: n=%d mean=%.2f max=%d\n", h.Name, h.Count, h.Mean(), h.Max)
+	bks := h.Buckets()
+	maxCount := int64(1)
+	for _, b := range bks {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	for _, b := range bks {
+		bar := int(40 * b.Count / maxCount)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "  [%8d, %8d] %10d %s\n", b.Lo, b.Hi, b.Count, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-100, 0}, {-1, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5}, {31, 5},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{1 << 61, 62}, {1<<62 - 1, 62},
+		{1 << 62, 63}, {1<<63 - 1, 63}, // top bucket saturates
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Every bucket's bounds must map back to that bucket, and consecutive
+// buckets must tile the positive axis with no gap or overlap.
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if i > 0 {
+			if got := BucketIndex(lo); got != i {
+				t.Errorf("bucket %d: BucketIndex(lo=%d) = %d", i, lo, got)
+			}
+			if got := BucketIndex(hi); got != i {
+				t.Errorf("bucket %d: BucketIndex(hi=%d) = %d", i, hi, got)
+			}
+			prevLo, prevHi := BucketBounds(i - 1)
+			if i > 1 && lo != prevHi+1 {
+				t.Errorf("gap between bucket %d (hi=%d) and %d (lo=%d)", i-1, prevHi, i, lo)
+			}
+			_ = prevLo
+		}
+	}
+	// Bucket 0 takes everything non-positive; bucket 1 starts at 1.
+	if lo, hi := BucketBounds(0); hi != 0 || lo > -1 {
+		t.Errorf("bucket 0 bounds = [%d, %d], want hi 0", lo, hi)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []int64{1, 1, 3, 4, 100, 0} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Sum != 109 || h.Max != 100 {
+		t.Fatalf("count=%d sum=%d max=%d, want 6/109/100", h.Count, h.Sum, h.Max)
+	}
+	if got, want := h.Mean(), 109.0/6; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	bks := h.Buckets()
+	// Expect buckets: 0 (v=0), 1 (two 1s), 2 (v=3), 3 (v=4), 7 (v=100: 64..127),
+	// keyed by each bucket's low bound (bucket 0 spans the non-positives).
+	wantCounts := map[int64]int64{-1 << 62: 1, 1: 2, 2: 1, 4: 1, 64: 1}
+	if len(bks) != len(wantCounts) {
+		t.Fatalf("got %d non-empty buckets, want %d: %+v", len(bks), len(wantCounts), bks)
+	}
+	for _, b := range bks {
+		if wantCounts[b.Lo] != b.Count {
+			t.Errorf("bucket lo=%d count=%d, want %d", b.Lo, b.Count, wantCounts[b.Lo])
+		}
+	}
+	if s := h.String(); !strings.Contains(s, "lat: n=6") || !strings.Contains(s, "#") {
+		t.Errorf("String() missing header or bars:\n%s", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Mean() != 0 || len(h.Buckets()) != 0 {
+		t.Error("empty histogram should have zero mean and no buckets")
+	}
+	if s := h.String(); !strings.Contains(s, "n=0") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cppcache/internal/memsys"
+)
+
+// TestIntervalRolloverConservation drives a recorder through a synthetic
+// run and checks the partition property: every counter column summed over
+// all snapshots equals the end-of-run total, with no interval counted
+// twice and none lost — including when a weighted tick jumps over several
+// boundaries at once and when the run ends mid-interval.
+func TestIntervalRolloverConservation(t *testing.T) {
+	var st memsys.Stats
+	r := New(Config{Interval: 100})
+	r.AttachStats(&st)
+
+	var insts int64
+	cycle := int64(0)
+	steps := []int64{1, 1, 50, 1, 250, 3, 90, 1, 1, 400, 7} // jumps across 0, 1 and 4 boundaries
+	for i, w := range steps {
+		cycle += w
+		st.L1.Accesses += 10 * int64(i+1)
+		st.L1.Misses += int64(i)
+		st.MemReadHalves += 32
+		st.AffHitsL1 += 2
+		insts += 5 * w
+		r.FillWords(16, 9)
+		r.Tick(cycle, w, 8, insts)
+	}
+	r.Finish()
+	r.Finish() // idempotent
+
+	snaps := r.Snapshots()
+	if len(snaps) < 3 {
+		t.Fatalf("expected several snapshots, got %d", len(snaps))
+	}
+	var sum Snapshot
+	for i, s := range snaps {
+		if i > 0 && s.Cycle <= snaps[i-1].Cycle {
+			t.Errorf("snapshot %d cycle %d not after %d", i, s.Cycle, snaps[i-1].Cycle)
+		}
+		sum.Instructions += s.Instructions
+		sum.L1Accesses += s.L1Accesses
+		sum.L1Misses += s.L1Misses
+		sum.MemReadHalves += s.MemReadHalves
+		sum.AffHits += s.AffHits
+		sum.FillWords += s.FillWords
+		sum.FillCompWords += s.FillCompWords
+		sum.ROBOccSum += s.ROBOccSum
+		sum.ROBOccSamples += s.ROBOccSamples
+	}
+	if sum.Instructions != insts {
+		t.Errorf("instructions: snapshots sum to %d, total %d", sum.Instructions, insts)
+	}
+	if sum.L1Accesses != st.L1.Accesses || sum.L1Misses != st.L1.Misses {
+		t.Errorf("L1: snapshots sum to %d/%d, totals %d/%d",
+			sum.L1Accesses, sum.L1Misses, st.L1.Accesses, st.L1.Misses)
+	}
+	if sum.MemReadHalves != st.MemReadHalves {
+		t.Errorf("traffic: snapshots sum to %d, total %d", sum.MemReadHalves, st.MemReadHalves)
+	}
+	if sum.AffHits != st.AffHitsL1 {
+		t.Errorf("aff hits: snapshots sum to %d, total %d", sum.AffHits, st.AffHitsL1)
+	}
+	if want := int64(16 * len(steps)); sum.FillWords != want {
+		t.Errorf("fill words: snapshots sum to %d, total %d", sum.FillWords, want)
+	}
+	if want := int64(9 * len(steps)); sum.FillCompWords != want {
+		t.Errorf("fill comp words: snapshots sum to %d, total %d", sum.FillCompWords, want)
+	}
+	if sum.ROBOccSamples != cycle {
+		t.Errorf("rob samples: snapshots sum to %d, cycles %d", sum.ROBOccSamples, cycle)
+	}
+	if want := 8 * cycle; sum.ROBOccSum != want {
+		t.Errorf("rob sum: snapshots sum to %d, want %d", sum.ROBOccSum, want)
+	}
+}
+
+// TestMemPagesGauge checks the footprint sampler is recorded as an
+// absolute gauge, not a delta.
+func TestMemPagesGauge(t *testing.T) {
+	var st memsys.Stats
+	pages := 0
+	r := New(Config{Interval: 10})
+	r.AttachStats(&st)
+	r.AttachMemPages(func() int { return pages })
+	pages = 3
+	st.L1.Accesses++
+	r.OpTick(10)
+	pages = 5
+	st.L1.Accesses++
+	r.OpTick(20)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 || snaps[0].PagesTouched != 3 || snaps[1].PagesTouched != 5 {
+		t.Errorf("pages gauge = %+v, want 3 then 5", snaps)
+	}
+}
+
+// TestFinishWithoutActivity checks Finish emits no empty trailing snapshot.
+func TestFinishWithoutActivity(t *testing.T) {
+	var st memsys.Stats
+	r := New(Config{Interval: 100})
+	r.AttachStats(&st)
+	st.L1.Accesses = 7
+	r.Tick(100, 100, 1, 3)
+	n := len(r.Snapshots())
+	r.Finish() // nothing happened since the boundary snapshot
+	if len(r.Snapshots()) != n {
+		t.Errorf("Finish added an empty snapshot: %d -> %d", n, len(r.Snapshots()))
+	}
+}
+
+// TestOpTick checks the functional-mode clock takes snapshots on op
+// boundaries.
+func TestOpTick(t *testing.T) {
+	var st memsys.Stats
+	r := New(Config{Interval: 10})
+	r.AttachStats(&st)
+	for op := int64(1); op <= 25; op++ {
+		st.L1.Accesses++
+		r.OpTick(op)
+	}
+	r.Finish()
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (10, 20, final 25)", len(snaps))
+	}
+	if snaps[0].Cycle != 10 || snaps[1].Cycle != 20 || snaps[2].Cycle != 25 {
+		t.Errorf("snapshot cycles = %d,%d,%d", snaps[0].Cycle, snaps[1].Cycle, snaps[2].Cycle)
+	}
+	if snaps[0].L1Accesses != 10 || snaps[1].L1Accesses != 10 || snaps[2].L1Accesses != 5 {
+		t.Errorf("snapshot access deltas = %d,%d,%d, want 10,10,5",
+			snaps[0].L1Accesses, snaps[1].L1Accesses, snaps[2].L1Accesses)
+	}
+}
+
+// TestNilRecorder checks every exported hook is safe on a nil receiver.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.AttachStats(nil)
+	r.Tick(1, 1, 0, 0)
+	r.OpTick(1)
+	r.FillWords(1, 1)
+	r.FillLine(nil, 0)
+	r.ObserveLoadToUse(1)
+	r.ObserveMissService(1)
+	r.Event(EvFillL1, 0, 0)
+	r.Finish()
+	if r.Snapshots() != nil || r.TraceEvents() != nil || r.TraceDropped() != 0 {
+		t.Error("nil recorder returned data")
+	}
+	if r.MetricsCSV() != "" || r.HistogramsText() != "" || r.TraceEnabled() {
+		t.Error("nil recorder rendered output")
+	}
+	if b, err := r.MetricsJSON(); err != nil || string(b) != "[]" {
+		t.Errorf("nil MetricsJSON = %q, %v", b, err)
+	}
+	if !json.Valid(r.ChromeTrace()) {
+		t.Error("nil ChromeTrace is not valid JSON")
+	}
+}
+
+func TestMetricsCSVShape(t *testing.T) {
+	var st memsys.Stats
+	r := New(Config{Interval: 5})
+	r.AttachStats(&st)
+	st.L1.Accesses = 3
+	r.OpTick(5)
+	csv := r.MetricsCSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "cycle,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	hdr := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(hdr) != len(row) {
+		t.Errorf("header has %d fields, row has %d", len(hdr), len(row))
+	}
+	var fromJSON []Snapshot
+	b, err := r.MetricsJSON()
+	if err != nil || json.Unmarshal(b, &fromJSON) != nil {
+		t.Fatalf("MetricsJSON: %v", err)
+	}
+	if len(fromJSON) != 1 || fromJSON[0].L1Accesses != 3 {
+		t.Errorf("JSON round-trip = %+v", fromJSON)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRingDropAccounting checks the flight-recorder semantics: the ring
+// keeps the newest events, drops the oldest, and counts every drop.
+func TestRingDropAccounting(t *testing.T) {
+	r := New(Config{Trace: true, TraceCap: 4})
+	if !r.TraceEnabled() {
+		t.Fatal("TraceEnabled = false with Trace: true")
+	}
+	for i := 0; i < 10; i++ {
+		r.Tick(int64(i), 1, 0, 0)
+		r.Event(EvFillL1, 0x1000, int64(i))
+	}
+	evs := r.TraceEvents()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Aux != want {
+			t.Errorf("event %d aux = %d, want %d (newest-window order)", i, e.Aux, want)
+		}
+	}
+	if got := r.TraceDropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+}
+
+// TestRingUnderfill checks no drops are reported before the ring is full.
+func TestRingUnderfill(t *testing.T) {
+	r := New(Config{Trace: true, TraceCap: 8})
+	for i := 0; i < 5; i++ {
+		r.Event(EvEvictL2, 0x40, 0)
+	}
+	if len(r.TraceEvents()) != 5 || r.TraceDropped() != 0 {
+		t.Errorf("events=%d dropped=%d, want 5/0", len(r.TraceEvents()), r.TraceDropped())
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if eventNames[k] == "" {
+			t.Errorf("event kind %d has no name", k)
+		}
+		if eventTIDs[k] == 0 {
+			t.Errorf("event kind %d has no thread", k)
+		}
+	}
+	if EventKind(200).String() != "event-200" {
+		t.Errorf("out-of-range kind String = %q", EventKind(200).String())
+	}
+}
+
+// TestChromeTraceGolden pins the exact Chrome trace_event bytes a small
+// fixed event sequence produces; run with -update to rewrite.
+func TestChromeTraceGolden(t *testing.T) {
+	r := New(Config{Trace: true, TraceCap: 4})
+	r.Tick(100, 1, 0, 0)
+	r.Event(EvFillL1, 0x1040, 16)
+	r.Event(EvAffPrefetch, 0x1080, 7)
+	r.Tick(250, 1, 0, 0)
+	r.Event(EvEvictL2, 0x2000, 1)
+	r.Event(EvPromote, 0x1080, 0)
+	r.Event(EvPfIssue, 0x3000, 2) // overwrites the oldest: ring holds 4
+	got := r.ChromeTrace()
+
+	goldenPath := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Beyond byte equality: the trace must be loadable Chrome JSON.
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Dropped     int64            `json:"droppedEventCount"`
+	}
+	if err := json.Unmarshal(got, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 3 thread_name metadata events + 4 retained instants.
+	if len(tr.TraceEvents) != 7 {
+		t.Errorf("traceEvents count = %d, want 7", len(tr.TraceEvents))
+	}
+	if tr.Dropped != 1 {
+		t.Errorf("droppedEventCount = %d, want 1", tr.Dropped)
+	}
+	for _, e := range tr.TraceEvents {
+		if e["ph"] == "i" {
+			if _, ok := e["ts"].(float64); !ok {
+				t.Errorf("instant event without numeric ts: %v", e)
+			}
+		}
+	}
+}

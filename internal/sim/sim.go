@@ -13,6 +13,7 @@ import (
 	"cppcache/internal/isa"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 	"cppcache/internal/workload"
 )
 
@@ -74,6 +75,26 @@ type Result struct {
 // Run simulates the program on the named configuration with full pipeline
 // timing.
 func Run(p *workload.Program, config string, lat memsys.Latencies, params cpu.Params) (Result, error) {
+	return RunObserved(p, config, lat, params, nil)
+}
+
+// attachRecorder connects rec to a built system: the stats block is
+// always attached (every memsys.System exposes one), and hierarchies
+// implementing obs.Attachable additionally get event/fill hooks.
+func attachRecorder(sys memsys.System, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.AttachStats(sys.Stats())
+	if a, ok := sys.(obs.Attachable); ok {
+		a.SetRecorder(rec)
+	}
+}
+
+// RunObserved is Run with an observability recorder attached to the core
+// and the memory hierarchy. A nil recorder reproduces Run exactly. The
+// recorder is finished (trailing snapshot emitted) before returning.
+func RunObserved(p *workload.Program, config string, lat memsys.Latencies, params cpu.Params, rec *obs.Recorder) (Result, error) {
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
@@ -83,7 +104,11 @@ func Run(p *workload.Program, config string, lat memsys.Latencies, params cpu.Pa
 	if err != nil {
 		return Result{}, err
 	}
+	attachRecorder(sys, rec)
+	rec.AttachMemPages(m.PagesTouched)
+	c.SetRecorder(rec)
 	res := c.Run(p.Stream())
+	rec.Finish()
 	if res.ValueMismatches > 0 {
 		return Result{}, fmt.Errorf("sim: %s on %s: %d load value mismatches (cache model corrupted data)",
 			p.Name, config, res.ValueMismatches)
@@ -96,13 +121,23 @@ func Run(p *workload.Program, config string, lat memsys.Latencies, params cpu.Pa
 // faster than Run and produces identical traffic and miss statistics for
 // studies that do not need cycles.
 func RunFunctional(p *workload.Program, config string, lat memsys.Latencies) (Result, error) {
+	return RunFunctionalObserved(p, config, lat, nil)
+}
+
+// RunFunctionalObserved is RunFunctional with an observability recorder;
+// with no pipeline clock, the operation index stands in for time (one op
+// per "cycle" in snapshots and traces). A nil recorder reproduces
+// RunFunctional exactly.
+func RunFunctionalObserved(p *workload.Program, config string, lat memsys.Latencies, rec *obs.Recorder) (Result, error) {
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
 		return Result{}, err
 	}
+	attachRecorder(sys, rec)
+	rec.AttachMemPages(m.PagesTouched)
 	s := p.Stream()
-	var mismatches int64
+	var mismatches, op int64
 	for {
 		in, ok := s.Next()
 		if !ok {
@@ -116,7 +151,10 @@ func RunFunctional(p *workload.Program, config string, lat memsys.Latencies) (Re
 		case isa.OpStore:
 			sys.Write(in.Addr, in.Value)
 		}
+		op++
+		rec.OpTick(op)
 	}
+	rec.Finish()
 	if mismatches > 0 {
 		return Result{}, fmt.Errorf("sim: %s on %s (functional): %d load value mismatches",
 			p.Name, config, mismatches)

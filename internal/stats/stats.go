@@ -134,6 +134,31 @@ func (t *Table) Normalized(baseCol string) *Table {
 	return out
 }
 
+// Diff returns a table of cell-wise differences t - other over the rows
+// and columns the two tables share, in the receiver's order. Rows or
+// columns present in only one table are dropped, so tables built from
+// different benchmark subsets or metric sets still diff cleanly.
+func (t *Table) Diff(other *Table) *Table {
+	var rows, cols []string
+	for _, r := range t.Rows {
+		if other.RowIndex(r) >= 0 {
+			rows = append(rows, r)
+		}
+	}
+	for _, c := range t.Cols {
+		if other.ColIndex(c) >= 0 {
+			cols = append(cols, c)
+		}
+	}
+	out := NewTable(t.Title+" - "+other.Title, rows, cols)
+	for _, r := range rows {
+		for _, c := range cols {
+			out.Set(r, c, t.Get(r, c)-other.Get(r, c))
+		}
+	}
+	return out
+}
+
 // WithGeomeanRow returns a copy with an extra "geomean" row.
 func (t *Table) WithGeomeanRow() *Table {
 	out := NewTable(t.Title, append(append([]string(nil), t.Rows...), "geomean"), t.Cols)

@@ -130,3 +130,62 @@ func TestSortedRows(t *testing.T) {
 		t.Errorf("sorted = %v", s.Rows)
 	}
 }
+
+func TestDiff(t *testing.T) {
+	a := NewTable("A", []string{"r1", "r2", "r3"}, []string{"x", "y"})
+	a.Set("r1", "x", 10)
+	a.Set("r1", "y", 20)
+	a.Set("r2", "x", 5)
+	a.Set("r2", "y", 7)
+	a.Set("r3", "x", 1)
+
+	b := NewTable("B", []string{"r1", "r2"}, []string{"x", "y", "z"})
+	b.Set("r1", "x", 4)
+	b.Set("r1", "y", 25)
+	b.Set("r2", "x", 5)
+	b.Set("r2", "z", 99)
+
+	d := a.Diff(b)
+	if got, want := d.Title, "A - B"; got != want {
+		t.Errorf("title = %q, want %q", got, want)
+	}
+	// r3 exists only in a; z exists only in b: both dropped.
+	if len(d.Rows) != 2 || d.Rows[0] != "r1" || d.Rows[1] != "r2" {
+		t.Fatalf("rows = %v, want [r1 r2]", d.Rows)
+	}
+	if len(d.Cols) != 2 || d.Cols[0] != "x" || d.Cols[1] != "y" {
+		t.Fatalf("cols = %v, want [x y]", d.Cols)
+	}
+	cases := []struct {
+		row, col string
+		want     float64
+	}{
+		{"r1", "x", 6}, {"r1", "y", -5}, {"r2", "x", 0}, {"r2", "y", 7},
+	}
+	for _, c := range cases {
+		if got := d.Get(c.row, c.col); got != c.want {
+			t.Errorf("Diff(%s,%s) = %v, want %v", c.row, c.col, got, c.want)
+		}
+	}
+}
+
+func TestDiffSelfIsZero(t *testing.T) {
+	a := NewTable("A", []string{"r"}, []string{"c"})
+	a.Set("r", "c", 3.5)
+	d := a.Diff(a)
+	if got := d.Get("r", "c"); got != 0 {
+		t.Errorf("self-diff = %v, want 0", got)
+	}
+}
+
+func TestDiffDisjoint(t *testing.T) {
+	a := NewTable("A", []string{"r1"}, []string{"x"})
+	b := NewTable("B", []string{"r2"}, []string{"y"})
+	d := a.Diff(b)
+	if len(d.Rows) != 0 || len(d.Cols) != 0 {
+		t.Errorf("disjoint diff has rows=%v cols=%v, want empty", d.Rows, d.Cols)
+	}
+	if d.String() == "" {
+		t.Error("empty diff should still render a header")
+	}
+}

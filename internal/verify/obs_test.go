@@ -1,0 +1,72 @@
+package verify
+
+// Observability must be a pure observer: attaching a recorder may not
+// change any simulation result, and none of the invariant checks may be
+// weakened by its presence. Both directions are asserted here — identical
+// stats with and without a recorder, and an injected traffic-accounting
+// fault still caught while a recorder is attached and collecting.
+
+import (
+	"testing"
+
+	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
+)
+
+// attach wires a full-featured recorder (interval metrics + event trace)
+// to the system under test.
+func attach(sys memsys.System) *obs.Recorder {
+	rec := obs.New(obs.Config{Interval: 64, Trace: true, TraceCap: 1024})
+	rec.AttachStats(sys.Stats())
+	if a, ok := sys.(obs.Attachable); ok {
+		a.SetRecorder(rec)
+	}
+	return rec
+}
+
+func TestRecorderDoesNotPerturbResults(t *testing.T) {
+	for _, config := range []string{"BC", "BCP", "CPP"} {
+		plain, mPlain := mustSystem(t, config)
+		if d := Check(plain, mPlain, RandomStream(11, 2000), Options{}); d != nil {
+			t.Fatalf("%s: unobserved run diverged: %v", config, d)
+		}
+
+		observed, mObs := mustSystem(t, config)
+		rec := attach(observed)
+		step := int64(0)
+		opt := Options{Hook: func(_ int, _ memsys.System) {
+			step++
+			rec.OpTick(step)
+		}}
+		if d := Check(observed, mObs, RandomStream(11, 2000), opt); d != nil {
+			t.Fatalf("%s: observed run diverged: %v", config, d)
+		}
+		rec.Finish()
+
+		if *plain.Stats() != *observed.Stats() {
+			t.Errorf("%s: stats differ with recorder attached:\nplain:    %+v\nobserved: %+v",
+				config, *plain.Stats(), *observed.Stats())
+		}
+		if len(rec.Snapshots()) == 0 {
+			t.Errorf("%s: recorder collected no snapshots (vacuous test)", config)
+		}
+		if config != "BC" && len(rec.TraceEvents()) == 0 {
+			t.Errorf("%s: recorder collected no events (vacuous test)", config)
+		}
+	}
+}
+
+func TestTrafficFaultCaughtWithRecorder(t *testing.T) {
+	sys, m := mustSystem(t, "CPP")
+	rec := attach(sys)
+	step := int64(0)
+	opt := Options{DeepEvery: 16, Hook: func(i int, s memsys.System) {
+		step++
+		rec.OpTick(step)
+		if i == 300 {
+			s.Stats().MemReadHalves++ // phantom half-word on the bus
+		}
+	}}
+	d := Check(sys, m, RandomStream(4, 1000), opt)
+	requireDivergence(t, d, InvTrafficAccounting)
+}
