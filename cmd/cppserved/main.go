@@ -1,0 +1,97 @@
+// Command cppserved is the simulation observatory: a long-running HTTP
+// service that launches simulator runs as jobs and serves their telemetry
+// while they execute.
+//
+// Usage:
+//
+//	cppserved -addr :8077
+//
+// then:
+//
+//	curl -d '{"workload":"mst","config":"CPP","functional":true}' localhost:8077/runs
+//	curl localhost:8077/runs/1
+//	curl -N localhost:8077/runs/1/stream
+//	curl localhost:8077/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, no new
+// runs are accepted, and running jobs drain (up to -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cppcache/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8077", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for running jobs")
+		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "cppserved: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	reg := serve.NewRegistry(log)
+	srv := &http.Server{Handler: serve.NewServer(reg, log)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	log.Info("listening", "addr", bound, "url", "http://"+bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Error("write addr-file", "err", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down", "drain_timeout", *drainTimeout)
+	case err := <-errc:
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	if !reg.Drain(*drainTimeout) {
+		log.Warn("drain timed out; exiting with jobs still running")
+		os.Exit(1)
+	}
+	log.Info("drained; bye")
+}

@@ -29,39 +29,6 @@ func usageError(format string, args ...any) {
 	os.Exit(2)
 }
 
-// resolveWorkload maps name to a registered workload: an exact match wins;
-// otherwise a unique dot-suffix match ("mst" -> "olden.mst") is accepted.
-func resolveWorkload(name string) (string, error) {
-	names := cppcache.Benchmarks()
-	var candidates []string
-	for _, n := range names {
-		if n == name {
-			return n, nil
-		}
-		if strings.HasSuffix(n, "."+name) {
-			candidates = append(candidates, n)
-		}
-	}
-	switch len(candidates) {
-	case 1:
-		return candidates[0], nil
-	case 0:
-		return "", fmt.Errorf("unknown workload %q (run -list for the full set)", name)
-	default:
-		return "", fmt.Errorf("ambiguous workload %q: matches %s", name, strings.Join(candidates, ", "))
-	}
-}
-
-// knownConfig reports whether name is a recognised cache configuration.
-func knownConfig(name cppcache.CacheConfig) bool {
-	for _, c := range append(cppcache.Configs(), cppcache.ExtraConfigs()...) {
-		if c == name {
-			return true
-		}
-	}
-	return false
-}
-
 func main() {
 	var (
 		workloadFlag = flag.String("workload", "", "workload name or unambiguous suffix (see -list)")
@@ -77,6 +44,8 @@ func main() {
 		interval   = flag.Int64("interval", 0, "metrics snapshot cadence in cycles (ops when -functional)")
 		traceCap   = flag.Int("trace-cap", 0, "event-ring capacity (0 = 65536; requires -trace-out)")
 		hist       = flag.Bool("hist", false, "print latency histograms (pipeline mode only)")
+		attrOut    = flag.String("attr-out", "", "write the PC/region attribution profile (top-N tables + collapsed stacks) to this file")
+		attrTop    = flag.Int("attr-top", 10, "rows per attribution top-N table (requires -attr-out)")
 	)
 	flag.Parse()
 
@@ -100,13 +69,13 @@ func main() {
 	if name == "" {
 		name = "olden.health"
 	}
-	resolved, err := resolveWorkload(name)
+	resolved, err := cppcache.ResolveBenchmark(name)
 	if err != nil {
-		usageError("%v", err)
+		usageError("%v (run -list for the full set)", err)
 	}
 
-	cfg := cppcache.CacheConfig(strings.ToUpper(*config))
-	if !knownConfig(cfg) {
+	cfg, ok := cppcache.KnownConfig(*config)
+	if !ok {
 		usageError("unknown configuration %q (known: BC, BCC, HAC, BCP, CPP, VC, LCC)", *config)
 	}
 
@@ -128,13 +97,19 @@ func main() {
 	if *hist && *functional {
 		usageError("-hist needs the pipeline model; drop -functional")
 	}
+	if *attrTop != 10 && *attrOut == "" {
+		usageError("-attr-top requires -attr-out")
+	}
+	if *attrTop <= 0 {
+		usageError("-attr-top must be positive (got %d)", *attrTop)
+	}
 
 	opts := cppcache.Options{
 		Scale:            *scale,
 		HalveMissPenalty: *halved,
 		FunctionalOnly:   *functional,
 	}
-	observing := *metricsOut != "" || *traceOut != "" || *hist
+	observing := *metricsOut != "" || *traceOut != "" || *hist || *attrOut != ""
 
 	var res cppcache.Result
 	var ob *cppcache.Observation
@@ -143,6 +118,7 @@ func main() {
 			IntervalCycles: *interval,
 			Trace:          *traceOut != "",
 			TraceCap:       *traceCap,
+			Attr:           *attrOut != "",
 		})
 	} else {
 		res, err = cppcache.Run(resolved, cfg, opts)
@@ -179,7 +155,13 @@ func main() {
 
 	if ob != nil {
 		if *metricsOut != "" {
-			if err := os.WriteFile(*metricsOut, []byte(ob.MetricsCSV()), 0o644); err != nil {
+			csv := ob.MetricsCSV()
+			if d := ob.TraceDropped(); d > 0 {
+				// Trailing comment so a truncated event trace is visible to
+				// anyone reading the metrics file, not only the trace JSON.
+				csv += fmt.Sprintf("# trace_dropped %d\n", d)
+			}
+			if err := os.WriteFile(*metricsOut, []byte(csv), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "cppsim: write metrics:", err)
 				os.Exit(1)
 			}
@@ -192,8 +174,19 @@ func main() {
 			}
 			fmt.Printf("trace            %s (%d events dropped)\n", *traceOut, ob.TraceDropped())
 		}
+		if *attrOut != "" {
+			profile := ob.AttrText(*attrTop) + "\ncollapsed stacks:\n" + ob.AttrCollapsed()
+			if err := os.WriteFile(*attrOut, []byte(profile), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "cppsim: write attribution profile:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("attribution      %s\n", *attrOut)
+		}
 		if *hist {
 			fmt.Print(ob.HistogramsText())
+		}
+		if d := ob.TraceDropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "cppsim: warning: event ring overflowed, %d oldest events dropped (raise -trace-cap)\n", d)
 		}
 	}
 }

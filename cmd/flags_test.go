@@ -1,0 +1,94 @@
+// Flag-validation tests: bad invocations must exit 2 (the conventional
+// bad-usage status) with a message that names the offending flag and the
+// usage text, and must not fall through to a simulation run.
+package cmd
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runExpectUsage executes the binary expecting exit status 2 and returns
+// the combined output.
+func runExpectUsage(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s: expected usage error, got err=%v\n%s", strings.Join(args, " "), err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("%s: exit %d, want 2\n%s", strings.Join(args, " "), code, out)
+	}
+	return string(out)
+}
+
+func TestCppsimFlagValidation(t *testing.T) {
+	bin := build(t, "cppsim")
+	cases := []struct {
+		name    string
+		args    []string
+		needles []string
+	}{
+		{"trace-cap without trace-out",
+			[]string{"-workload", "treeadd", "-trace-cap", "1024"},
+			[]string{"-trace-cap", "-trace-out"}},
+		{"metrics-out without interval",
+			[]string{"-workload", "treeadd", "-metrics-out", "m.csv"},
+			[]string{"-metrics-out", "-interval"}},
+		{"interval without metrics-out",
+			[]string{"-workload", "treeadd", "-interval", "1000"},
+			[]string{"-interval", "-metrics-out"}},
+		{"conflicting workload and bench",
+			[]string{"-workload", "treeadd", "-bench", "mst"},
+			[]string{"-workload", "-bench", "disagree"}},
+		{"attr-top without attr-out",
+			[]string{"-workload", "treeadd", "-attr-top", "5"},
+			[]string{"-attr-top", "-attr-out"}},
+		{"non-positive attr-top",
+			[]string{"-workload", "treeadd", "-attr-out", "a.txt", "-attr-top", "0"},
+			[]string{"-attr-top", "positive"}},
+		{"unknown workload",
+			[]string{"-workload", "no-such-benchmark"},
+			[]string{"no-such-benchmark", "-list"}},
+		{"unknown config",
+			[]string{"-workload", "treeadd", "-config", "ZZZ"},
+			[]string{"ZZZ"}},
+		{"hist in functional mode",
+			[]string{"-workload", "treeadd", "-functional", "-hist"},
+			[]string{"-hist", "-functional"}},
+		{"stray positional args",
+			[]string{"-workload", "treeadd", "stray"},
+			[]string{"unexpected arguments"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := runExpectUsage(t, bin, c.args...)
+			for _, n := range c.needles {
+				if !strings.Contains(out, n) {
+					t.Errorf("output missing %q:\n%s", n, out)
+				}
+			}
+			if !strings.Contains(out, "Usage") {
+				t.Errorf("usage text not printed:\n%s", out)
+			}
+			if strings.Contains(out, "benchmark ") {
+				t.Errorf("simulation ran despite bad flags:\n%s", out)
+			}
+		})
+	}
+
+	// -workload and -bench agreeing is NOT an error.
+	out := run(t, bin, "-workload", "olden.treeadd", "-bench", "olden.treeadd",
+		"-config", "CPP", "-scale", "1", "-functional")
+	expect(t, out, "olden.treeadd")
+}
+
+func TestCppservedFlagValidation(t *testing.T) {
+	bin := build(t, "cppserved")
+	out := runExpectUsage(t, bin, "stray")
+	if !strings.Contains(out, "unexpected arguments") {
+		t.Errorf("output missing stray-args message:\n%s", out)
+	}
+}

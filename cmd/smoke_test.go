@@ -5,10 +5,16 @@
 package cmd
 
 import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // build compiles ./cmd/<name> into t.TempDir and returns the binary path.
@@ -81,4 +87,90 @@ func TestSmokeCppverify(t *testing.T) {
 	expect(t, out, "PASS", "15 runs clean", "oracle-value")
 	out = run(t, bin, "-seeds", "1", "-ops", "500", "-configs", "CPP", "-workloads", "olden.treeadd", "-v")
 	expect(t, out, "ok   CPP", "olden.treeadd", "2 runs clean")
+}
+
+// TestSmokeCppserved boots the observatory on an ephemeral port, launches
+// one functional run over HTTP, scrapes /metrics, and shuts the server
+// down gracefully with SIGTERM.
+func TestSmokeCppserved(t *testing.T) {
+	bin := build(t, "cppserved")
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-drain-timeout", "30s")
+	var logs bytes.Buffer
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the bound address to appear.
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its address; logs:\n%s", logs.String())
+	}
+	base := "http://" + addr
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\nlogs:\n%s", path, err, logs.String())
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	expect(t, get("/healthz"), "ok")
+
+	resp, err := http.Post(base+"/runs", "application/json",
+		strings.NewReader(`{"workload":"treeadd","config":"CPP","functional":true,"scale":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /runs: status %d\n%s", resp.StatusCode, body)
+	}
+
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		if strings.Contains(get("/runs/1"), `"state": "done"`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	status := get("/runs/1")
+	expect(t, status, `"state": "done"`, `"workload": "olden.treeadd"`)
+	expect(t, get("/metrics"),
+		"# TYPE cppsim_l1_misses_total counter",
+		`cppsim_l1_misses_total{run="1",workload="olden.treeadd",config="CPP"}`,
+		`cppserved_runs{state="done"} 1`)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cppserved exited non-zero after SIGTERM: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cppserved did not exit after SIGTERM; logs:\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Errorf("graceful shutdown did not drain; logs:\n%s", logs.String())
+	}
 }

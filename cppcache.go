@@ -21,6 +21,7 @@ package cppcache
 
 import (
 	"fmt"
+	"strings"
 
 	"cppcache/internal/core"
 	"cppcache/internal/cpu"
@@ -83,6 +84,41 @@ func ExtraConfigs() []CacheConfig {
 // Benchmarks returns the names of the 14 workloads (olden.*, spec95.*,
 // spec2000.*).
 func Benchmarks() []string { return workload.Names() }
+
+// ResolveBenchmark maps name to a registered workload: an exact match
+// wins; otherwise a unique dot-suffix match ("mst" -> "olden.mst") is
+// accepted. CLI tools and the observatory service share this resolution.
+func ResolveBenchmark(name string) (string, error) {
+	var candidates []string
+	for _, n := range Benchmarks() {
+		if n == name {
+			return n, nil
+		}
+		if strings.HasSuffix(n, "."+name) {
+			candidates = append(candidates, n)
+		}
+	}
+	switch len(candidates) {
+	case 1:
+		return candidates[0], nil
+	case 0:
+		return "", fmt.Errorf("unknown workload %q", name)
+	default:
+		return "", fmt.Errorf("ambiguous workload %q: matches %s", name, strings.Join(candidates, ", "))
+	}
+}
+
+// KnownConfig reports whether name (case-insensitively) is a recognised
+// cache configuration, returning its canonical form.
+func KnownConfig(name string) (CacheConfig, bool) {
+	cfg := CacheConfig(strings.ToUpper(name))
+	for _, c := range append(Configs(), ExtraConfigs()...) {
+		if c == cfg {
+			return cfg, true
+		}
+	}
+	return cfg, false
+}
 
 // BenchmarkInfo describes one workload.
 type BenchmarkInfo struct {
@@ -234,6 +270,18 @@ type ObserveOptions struct {
 	Trace bool
 	// TraceCap overrides the event-ring capacity (0 = 65536 events).
 	TraceCap int
+	// Attr enables the PC/region attribution profiler: L1 misses,
+	// compression-failure fill words and affiliated-prefetch hits are
+	// attributed to instruction PCs and data-address regions.
+	Attr bool
+	// AttrRegionBits sets the attribution region granularity in address
+	// bits (0 = 12, i.e. 4 KiB regions).
+	AttrRegionBits int
+	// OnSnapshot, when set, receives each interval snapshot synchronously
+	// as it is taken, while the run is still in flight. The callback runs
+	// on the simulation goroutine; consumers that share the snapshot with
+	// other goroutines must do their own locking.
+	OnSnapshot func(obs.Snapshot)
 }
 
 // Observation wraps the recorder of a completed observed run and renders
@@ -264,6 +312,23 @@ func (o *Observation) HistogramsText() string { return o.rec.HistogramsText() }
 // Intervals returns how many metric snapshots were taken.
 func (o *Observation) Intervals() int { return len(o.rec.Snapshots()) }
 
+// Snapshots returns the interval metric series (per-interval deltas).
+func (o *Observation) Snapshots() []obs.Snapshot { return o.rec.Snapshots() }
+
+// AttrEnabled reports whether the attribution profiler collected.
+func (o *Observation) AttrEnabled() bool { return o.rec.AttrEnabled() }
+
+// AttrText renders the attribution profile as top-N tables (per kind,
+// per-PC and per-region sections).
+func (o *Observation) AttrText(topN int) string { return o.rec.AttrText(topN) }
+
+// AttrCollapsed renders the attribution profile in collapsed-stack format
+// for flame-graph tooling.
+func (o *Observation) AttrCollapsed() string { return o.rec.AttrCollapsed() }
+
+// AttrTotal returns the total attributed count of one kind.
+func (o *Observation) AttrTotal(kind obs.AttrKind) int64 { return o.rec.AttrTotal(kind) }
+
 // RunObserved is Run with the observability layer attached: interval
 // metrics, event tracing and latency histograms per ObserveOptions.
 // Attaching a recorder never changes simulation results.
@@ -285,7 +350,14 @@ func RunProgramObserved(p *Program, cfg CacheConfig, opts Options, oo ObserveOpt
 	if opts.HalveMissPenalty {
 		lat = lat.Halved()
 	}
-	rec := obs.New(obs.Config{Interval: oo.IntervalCycles, Trace: oo.Trace, TraceCap: oo.TraceCap})
+	rec := obs.New(obs.Config{
+		Interval:       oo.IntervalCycles,
+		Trace:          oo.Trace,
+		TraceCap:       oo.TraceCap,
+		Attr:           oo.Attr,
+		AttrRegionBits: oo.AttrRegionBits,
+		OnSnapshot:     oo.OnSnapshot,
+	})
 	var r sim.Result
 	var err error
 	if opts.FunctionalOnly {

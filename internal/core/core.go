@@ -154,10 +154,12 @@ func (h *Hierarchy) Read(a mach.Addr) (mach.Word, int) {
 		h.l1.touch(af)
 		h.stats.AffHitsL1++
 		h.obs.Event(obs.EvAffHitL1, a, 0)
+		h.obs.AttrAffHit(a)
 		return af.readAff(w, a), h.cfg.Lat.AffHit
 	}
 
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fillL1(n, w)
 	f := h.l1.frameByTag(n)
 	if f == nil || !f.pa[w] {
@@ -188,6 +190,7 @@ func (h *Hierarchy) Write(a mach.Addr, v mach.Word) int {
 		h.stats.AffHitsL1++
 		h.stats.Promotions++
 		h.obs.Event(obs.EvPromote, a, 0)
+		h.obs.AttrAffHit(a)
 		h.promoteL1(n)
 		f := h.l1.frameByTag(n)
 		if f == nil || !f.pa[w] {
@@ -198,6 +201,7 @@ func (h *Hierarchy) Write(a mach.Addr, v mach.Word) int {
 	}
 
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fillL1(n, w)
 	f := h.l1.frameByTag(n)
 	if f == nil || !f.pa[w] {

@@ -58,6 +58,7 @@ func (h *Hierarchy) serveFromL2(n mach.Addr, needWord int) (*window, int) {
 		if fromAff {
 			h.stats.AffHitsL2++
 			h.obs.Event(obs.EvAffHitL2, h.l1.geom.NumberToAddr(n), 0)
+			h.obs.AttrAffHit(h.l1.geom.NumberToAddr(n))
 		}
 		h.touchL2(n)
 		return pl, h.cfg.Lat.L2Hit
@@ -124,6 +125,7 @@ func (h *Hierarchy) fetchL2FromMem(N mach.Addr) {
 		}
 	}
 	h.obs.FillWords(int64(words), compCount)
+	h.obs.AttrFillFail(base, int64(words)-compCount)
 
 	h.installL2(N, pl, aff)
 }

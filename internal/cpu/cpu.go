@@ -577,6 +577,11 @@ func (c *Core) ready(e *robEntry, cycle, headIdx int64, robHead, robLen int) boo
 // execute issues e at cycle, computing its completion time.
 func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	var lat int
+	if c.obs != nil && e.in.Op.IsMem() {
+		// The attribution profiler charges the hierarchy events of this
+		// access to the instruction's PC (attr.go).
+		c.obs.SetAccessPC(e.in.PC)
+	}
 	switch e.in.Op {
 	case isa.OpLoad:
 		v, l := c.read(e.in.Addr)

@@ -219,6 +219,7 @@ func (h *Standard) Read(a mach.Addr) (mach.Word, int) {
 		return v, h.cfg.Lat.L1Hit
 	}
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fetchIntoL1(a)
 	v, ok := h.l1.ReadWord(a)
 	if !ok {
@@ -235,6 +236,7 @@ func (h *Standard) Write(a mach.Addr, v mach.Word) int {
 		return h.cfg.Lat.L1Hit
 	}
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fetchIntoL1(a)
 	if !h.l1.WriteWord(a, v) {
 		panic("hier: word absent after fill on write")

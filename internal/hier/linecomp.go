@@ -8,6 +8,7 @@ import (
 	"cppcache/internal/mach"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
 )
 
 // LCC is the line-level compression cache of the reproduced paper's
@@ -32,6 +33,10 @@ type LCC struct {
 	stats memsys.Stats
 	g1    mach.LineGeom
 	g2    mach.LineGeom
+
+	// obs, when non-nil, receives fill-word compressibility counts and
+	// attribution events; a nil recorder costs one branch per hook.
+	obs *obs.Recorder
 }
 
 var _ memsys.System = (*LCC)(nil)
@@ -69,6 +74,14 @@ func (h *LCC) Name() string { return h.cfg.Name }
 
 // Stats implements memsys.System.
 func (h *LCC) Stats() *memsys.Stats { return &h.stats }
+
+// SetRecorder implements obs.Attachable: it attaches the observability
+// recorder (nil detaches) and connects the statistics block for interval
+// snapshotting.
+func (h *LCC) SetRecorder(r *obs.Recorder) {
+	h.obs = r
+	r.AttachStats(&h.stats)
+}
 
 // lccLine is one resident line within a shared frame.
 type lccLine struct {
@@ -244,6 +257,7 @@ func (h *LCC) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int) {
 	lat := h.cfg.Lat.L1Hit
 	if l == nil {
 		h.stats.L1.Misses++
+		h.obs.AttrMiss(a)
 		lat = h.fetch(n)
 		l = h.l1.find(n)
 		if l == nil {
@@ -301,6 +315,9 @@ func (h *LCC) fetch(n mach.Addr) int {
 		l2base := h.g2.LineAddr(base)
 		h.mem.ReadLine(l2base, data)
 		h.stats.MemReadHalves += int64(compress.LineHalves(data, l2base))
+		if h.obs != nil {
+			h.obs.FillLine(data, l2base)
+		}
 		if ev := h.l2.Fill(base, data); ev.Valid && ev.Dirty {
 			evBase := h.g2.NumberToAddr(ev.Tag)
 			h.mem.WriteLine(evBase, ev.Data)

@@ -116,6 +116,7 @@ func (h *Prefetch) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int)
 
 	// Demand miss.
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fetchIntoL1WithBuffers(a)
 	for d := 1; d <= h.degree(); d++ {
 		h.prefetchL1(h.g1.LineAddr(a) + mach.Addr(d*h.g1.LineBytes))

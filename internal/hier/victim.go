@@ -100,6 +100,7 @@ func (h *Victim) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int) {
 	}
 
 	h.stats.L1.Misses++
+	h.obs.AttrMiss(a)
 	lat := h.fetchIntoL1Victim(a)
 	return finish(lat)
 }

@@ -50,6 +50,16 @@ type Config struct {
 	Trace bool
 	// TraceCap overrides the ring capacity (0 = DefaultTraceCap).
 	TraceCap int
+	// Attr enables the PC/region attribution profiler (attr.go).
+	Attr bool
+	// AttrRegionBits sets the data-region granularity of the attribution
+	// profiler in address bits (0 = DefaultAttrRegionBits, 4 KiB).
+	AttrRegionBits int
+	// OnSnapshot, when set, is called synchronously with each interval
+	// snapshot as it is taken (including the trailing Finish snapshot).
+	// Long-running consumers (the observatory's streaming registry) use it
+	// to publish deltas while the run is still in flight.
+	OnSnapshot func(Snapshot)
 }
 
 // Attachable is implemented by every hierarchy that can host a recorder.
@@ -82,6 +92,14 @@ type Recorder struct {
 
 	ring *ring // nil when tracing is off
 
+	// attr, when non-nil, collects the PC/region attribution profile;
+	// attrPC is the PC of the memory access in flight (attr.go).
+	attr   *attrProfile
+	attrPC mach.Addr
+
+	// onSnap, when set, receives each snapshot as it is appended.
+	onSnap func(Snapshot)
+
 	// LoadToUse is the fetch-to-result-available latency of every load;
 	// MissService is the access latency of every demand miss.
 	LoadToUse   *Histogram
@@ -106,6 +124,10 @@ func New(cfg Config) *Recorder {
 		}
 		r.ring = newRing(n)
 	}
+	if cfg.Attr {
+		r.attr = newAttrProfile(cfg.AttrRegionBits)
+	}
+	r.onSnap = cfg.OnSnapshot
 	return r
 }
 
@@ -184,6 +206,9 @@ func (r *Recorder) FillLine(words []mach.Word, base mach.Addr) {
 		}
 	}
 	r.FillWords(int64(len(words)), comp)
+	if r.attr != nil {
+		r.attr.add(AttrFillFail, r.attrPC, base, int64(len(words))-comp)
+	}
 }
 
 // ObserveLoadToUse records one load's fetch-to-result latency.
@@ -251,6 +276,9 @@ func (r *Recorder) snapshot() {
 		s.PagesTouched = int64(r.memPages())
 	}
 	r.snaps = append(r.snaps, s)
+	if r.onSnap != nil {
+		r.onSnap(s)
+	}
 	r.prev = cur
 	r.prevInsts = r.insts
 	r.prevRobSum = r.robSum

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"cppcache"
+	"cppcache/internal/obs"
+)
+
+// RunSpec is the job description accepted by POST /runs.
+type RunSpec struct {
+	// Workload is a benchmark name or unambiguous dot-suffix ("mst").
+	Workload string `json:"workload"`
+	// Config is a cache configuration (BC, BCC, HAC, BCP, CPP, VC, LCC).
+	Config string `json:"config"`
+	// Scale multiplies the workload's compute phase (0 = default).
+	Scale int `json:"scale,omitempty"`
+	// Functional skips the pipeline model (faster; no cycle counts).
+	Functional bool `json:"functional,omitempty"`
+	// Interval is the metrics snapshot cadence in cycles (ops in
+	// functional mode). 0 = DefaultInterval.
+	Interval int64 `json:"interval,omitempty"`
+	// Attr enables the PC/region attribution profiler.
+	Attr bool `json:"attr,omitempty"`
+	// Halved halves the miss penalties (Figure 14 methodology).
+	Halved bool `json:"halved,omitempty"`
+}
+
+// DefaultInterval is the snapshot cadence when RunSpec.Interval is 0. Every
+// job snapshots: the metric series is what /metrics and the SSE stream are
+// fed from.
+const DefaultInterval = 10_000
+
+// RunState is a job's lifecycle phase.
+type RunState string
+
+// Job lifecycle states.
+const (
+	StateRunning RunState = "running"
+	StateDone    RunState = "done"
+	StateFailed  RunState = "failed"
+)
+
+// Run is one simulation job managed by the registry. All mutable fields
+// are guarded by mu; the snapshot slice is append-only, so consumers can
+// hold an index into it across waits.
+type Run struct {
+	ID   int     `json:"id"`
+	Spec RunSpec `json:"spec"`
+
+	mu       sync.Mutex
+	state    RunState
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	result   *cppcache.Result
+	snaps    []obs.Snapshot
+	totals   obs.Snapshot // running column sums of snaps (PagesTouched: last gauge)
+	dropped  int64
+	attrText string
+	attrColl string
+
+	// changed is closed and replaced whenever snaps or state change;
+	// stream consumers wait on it.
+	changed chan struct{}
+}
+
+// RunStatus is the JSON shape served for one run.
+type RunStatus struct {
+	ID        int              `json:"id"`
+	Spec      RunSpec          `json:"spec"`
+	State     RunState         `json:"state"`
+	Started   time.Time        `json:"started"`
+	Finished  *time.Time       `json:"finished,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Intervals int              `json:"intervals"`
+	Totals    obs.Snapshot     `json:"totals"`
+	Result    *cppcache.Result `json:"result,omitempty"`
+}
+
+// Registry launches and tracks simulation jobs.
+type Registry struct {
+	log *slog.Logger
+
+	mu      sync.Mutex
+	runs    map[int]*Run
+	order   []int
+	next    int
+	closed  bool
+	pending sync.WaitGroup
+}
+
+// NewRegistry builds an empty registry. A nil logger discards job logs.
+func NewRegistry(log *slog.Logger) *Registry {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Registry{log: log, runs: make(map[int]*Run), next: 1}
+}
+
+// normalize validates and canonicalises a spec, resolving workload
+// suffixes and upper-casing the configuration.
+func (g *Registry) normalize(spec RunSpec) (RunSpec, error) {
+	if spec.Workload == "" {
+		return spec, fmt.Errorf("workload is required")
+	}
+	resolved, err := cppcache.ResolveBenchmark(spec.Workload)
+	if err != nil {
+		return spec, err
+	}
+	spec.Workload = resolved
+	if spec.Config == "" {
+		spec.Config = "CPP"
+	}
+	cfg, ok := cppcache.KnownConfig(spec.Config)
+	if !ok {
+		return spec, fmt.Errorf("unknown configuration %q", spec.Config)
+	}
+	spec.Config = string(cfg)
+	if spec.Scale < 0 {
+		return spec, fmt.Errorf("scale must be non-negative")
+	}
+	if spec.Interval < 0 {
+		return spec, fmt.Errorf("interval must be non-negative")
+	}
+	if spec.Interval == 0 {
+		spec.Interval = DefaultInterval
+	}
+	return spec, nil
+}
+
+// Launch validates spec, registers a run and starts the simulation on its
+// own goroutine. It returns the registered run immediately.
+func (g *Registry) Launch(spec RunSpec) (*Run, error) {
+	spec, err := g.normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("registry is draining; not accepting new runs")
+	}
+	run := &Run{
+		ID:      g.next,
+		Spec:    spec,
+		state:   StateRunning,
+		started: time.Now(),
+		changed: make(chan struct{}),
+	}
+	g.next++
+	g.runs[run.ID] = run
+	g.order = append(g.order, run.ID)
+	g.pending.Add(1)
+	g.mu.Unlock()
+
+	log := g.log.With("run", run.ID, "workload", spec.Workload, "config", spec.Config)
+	log.Info("run launched", "functional", spec.Functional, "interval", spec.Interval, "attr", spec.Attr)
+
+	go func() {
+		defer g.pending.Done()
+		start := time.Now()
+		res, ob, err := cppcache.RunObserved(spec.Workload, cppcache.CacheConfig(spec.Config),
+			cppcache.Options{
+				Scale:            spec.Scale,
+				HalveMissPenalty: spec.Halved,
+				FunctionalOnly:   spec.Functional,
+			},
+			cppcache.ObserveOptions{
+				IntervalCycles: spec.Interval,
+				Attr:           spec.Attr,
+				OnSnapshot:     run.appendSnapshot,
+			})
+		if err != nil {
+			run.fail(err)
+			log.Error("run failed", "err", err, "elapsed", time.Since(start))
+			return
+		}
+		run.complete(&res, ob)
+		log.Info("run done", "elapsed", time.Since(start),
+			"l1_misses", res.L1Misses, "traffic_words", res.MemTrafficWords)
+	}()
+	return run, nil
+}
+
+// Get returns the run with the given id.
+func (g *Registry) Get(id int) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	run, ok := g.runs[id]
+	return run, ok
+}
+
+// Runs returns every run in launch order.
+func (g *Registry) Runs() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Run, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.runs[id])
+	}
+	return out
+}
+
+// Drain stops accepting new runs and waits for the running ones to finish,
+// up to timeout. It reports whether everything drained in time.
+func (g *Registry) Drain(timeout time.Duration) bool {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		g.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// appendSnapshot publishes one interval delta. It runs on the simulation
+// goroutine (via ObserveOptions.OnSnapshot), synchronously with the
+// recorder's own append, so the registry's series is always exactly the
+// recorder's series.
+func (r *Run) appendSnapshot(s obs.Snapshot) {
+	r.mu.Lock()
+	r.snaps = append(r.snaps, s)
+	addSnapshot(&r.totals, s)
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// addSnapshot accumulates one interval delta into a totals block. Counter
+// fields sum; the PagesTouched gauge takes the latest sample.
+func addSnapshot(t *obs.Snapshot, s obs.Snapshot) {
+	t.Cycle = s.Cycle // last snapshot time
+	t.Instructions += s.Instructions
+	t.L1Accesses += s.L1Accesses
+	t.L1Misses += s.L1Misses
+	t.L2Accesses += s.L2Accesses
+	t.L2Misses += s.L2Misses
+	t.MemReadHalves += s.MemReadHalves
+	t.MemWriteHalves += s.MemWriteHalves
+	t.AffHits += s.AffHits
+	t.AffWordsPrefetched += s.AffWordsPrefetched
+	t.Promotions += s.Promotions
+	t.PfBufHits += s.PfBufHits
+	t.PfIssued += s.PfIssued
+	t.FillWords += s.FillWords
+	t.FillCompWords += s.FillCompWords
+	t.ROBOccSum += s.ROBOccSum
+	t.ROBOccSamples += s.ROBOccSamples
+	t.PagesTouched = s.PagesTouched
+}
+
+// complete marks the run done and captures its result and profile.
+func (r *Run) complete(res *cppcache.Result, ob *cppcache.Observation) {
+	r.mu.Lock()
+	r.state = StateDone
+	r.finished = time.Now()
+	r.result = res
+	r.dropped = ob.TraceDropped()
+	if ob.AttrEnabled() {
+		r.attrText = ob.AttrText(10)
+		r.attrColl = ob.AttrCollapsed()
+	}
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// fail marks the run failed.
+func (r *Run) fail(err error) {
+	r.mu.Lock()
+	r.state = StateFailed
+	r.finished = time.Now()
+	r.errMsg = err.Error()
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// notifyLocked wakes every waiter. Callers hold r.mu.
+func (r *Run) notifyLocked() {
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// Status returns the run's JSON-ready view.
+func (r *Run) Status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:        r.ID,
+		Spec:      r.Spec,
+		State:     r.state,
+		Started:   r.started,
+		Error:     r.errMsg,
+		Intervals: len(r.snaps),
+		Totals:    r.totals,
+		Result:    r.result,
+	}
+	if !r.finished.IsZero() {
+		f := r.finished
+		st.Finished = &f
+	}
+	return st
+}
+
+// State returns the run's lifecycle phase.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Totals returns the column sums of the published snapshots.
+func (r *Run) Totals() obs.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totals
+}
+
+// Profile returns the attribution outputs ("" when attribution was off or
+// the run has not finished).
+func (r *Run) Profile() (text, collapsed string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attrText, r.attrColl
+}
+
+// SnapsFrom returns the snapshots at index >= i, the current state, and a
+// channel that is closed on the next change. The returned slice aliases
+// the append-only backing array and must not be mutated.
+func (r *Run) SnapsFrom(i int) (snaps []obs.Snapshot, state RunState, changed <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < len(r.snaps) {
+		snaps = r.snaps[i:len(r.snaps):len(r.snaps)]
+	}
+	return snaps, r.state, r.changed
+}

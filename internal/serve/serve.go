@@ -1,0 +1,225 @@
+// Package serve is the simulation observatory: a long-running HTTP
+// service that launches simulator runs as jobs, tracks them in a
+// registry, and exposes their telemetry while they execute.
+//
+// Endpoints:
+//
+//	POST /runs               launch a job (JSON RunSpec body)
+//	GET  /runs               list runs
+//	GET  /runs/{id}          one run's status, totals and final result
+//	GET  /runs/{id}/stream   SSE: replay + follow the interval snapshots
+//	GET  /runs/{id}/profile  attribution profile (text or collapsed stacks)
+//	GET  /metrics            Prometheus text exposition over all runs
+//	GET  /healthz            liveness
+//	GET  /debug/pprof/...    net/http/pprof
+//
+// Counters on /metrics are sums of the per-interval snapshot deltas, so
+// at the end of a run they equal the recorder's final totals exactly; the
+// SSE stream carries the same deltas, so a client summing them reproduces
+// /metrics. Both invariants are test-enforced.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server wires the registry to an http.Handler.
+type Server struct {
+	reg *Registry
+	log *slog.Logger
+	mux *http.ServeMux
+}
+
+// NewServer builds the observatory handler around a registry.
+func NewServer(reg *Registry, log *slog.Logger) *Server {
+	if log == nil {
+		log = reg.log
+	}
+	s := &Server{reg: reg, log: log, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /runs", s.handleLaunch)
+	s.mux.HandleFunc("GET /runs", s.handleList)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /runs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler with request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	s.log.Info("http", "method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v as a JSON 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// runFromPath resolves the {id} path value to a run.
+func (s *Server) runFromPath(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad run id %q", r.PathValue("id"))
+		return nil, false
+	}
+	run, ok := s.reg.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no run %d", id)
+		return nil, false
+	}
+	return run, true
+}
+
+// handleLaunch is POST /runs.
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad run spec: %v", err)
+		return
+	}
+	run, err := s.reg.Launch(spec)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/runs/%d", run.ID))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(run.Status())
+}
+
+// handleList is GET /runs.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := s.reg.Runs()
+	out := make([]RunStatus, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, run.Status())
+	}
+	writeJSON(w, out)
+}
+
+// handleRun is GET /runs/{id}.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.runFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, run.Status())
+}
+
+// handleProfile is GET /runs/{id}/profile. ?format=collapsed selects the
+// flame-graph collapsed-stack rendering.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.runFromPath(w, r)
+	if !ok {
+		return
+	}
+	if !run.Spec.Attr {
+		jsonError(w, http.StatusNotFound, "run %d was launched without attribution (set \"attr\": true)", run.ID)
+		return
+	}
+	if run.State() == StateRunning {
+		jsonError(w, http.StatusConflict, "run %d still running; profile is available at completion", run.ID)
+		return
+	}
+	text, collapsed := run.Profile()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.URL.Query().Get("format") == "collapsed" {
+		fmt.Fprint(w, collapsed)
+		return
+	}
+	fmt.Fprint(w, text)
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	writeMetrics(&b, s.reg.Runs())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// handleStream is GET /runs/{id}/stream: server-sent events. Every
+// interval snapshot the run has ever published is replayed in order (the
+// stream is lossless), then the handler follows live appends until the
+// run reaches a terminal state, closing with an "end" event carrying the
+// final status. Event ids are snapshot ordinals.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.runFromPath(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	next := 0
+	for {
+		snaps, state, changed := run.SnapsFrom(next)
+		for _, snap := range snaps {
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", next, data)
+			next++
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		if state != StateRunning {
+			// Drain any snapshots that landed between SnapsFrom and the
+			// terminal-state observation before closing.
+			snaps, _, _ := run.SnapsFrom(next)
+			for _, snap := range snaps {
+				data, _ := json.Marshal(snap)
+				fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", next, data)
+				next++
+			}
+			final, _ := json.Marshal(run.Status())
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", final)
+			if canFlush {
+				fl.Flush()
+			}
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

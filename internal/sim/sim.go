@@ -145,10 +145,12 @@ func RunFunctionalObserved(p *workload.Program, config string, lat memsys.Latenc
 		}
 		switch in.Op {
 		case isa.OpLoad:
+			rec.SetAccessPC(in.PC)
 			if v, _ := sys.Read(in.Addr); v != in.Value {
 				mismatches++
 			}
 		case isa.OpStore:
+			rec.SetAccessPC(in.PC)
 			sys.Write(in.Addr, in.Value)
 		}
 		op++

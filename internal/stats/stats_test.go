@@ -189,3 +189,20 @@ func TestDiffDisjoint(t *testing.T) {
 		t.Error("empty diff should still render a header")
 	}
 }
+
+func TestDiffReceiverOrderWins(t *testing.T) {
+	a := NewTable("A", []string{"r2", "r1"}, []string{"y", "x"})
+	a.Set("r1", "x", 1)
+	a.Set("r2", "y", 2)
+	b := NewTable("B", []string{"r1", "r2", "r3"}, []string{"x", "y"})
+	d := a.Diff(b)
+	if len(d.Rows) != 2 || d.Rows[0] != "r2" || d.Rows[1] != "r1" {
+		t.Errorf("rows = %v, want receiver order [r2 r1]", d.Rows)
+	}
+	if len(d.Cols) != 2 || d.Cols[0] != "y" || d.Cols[1] != "x" {
+		t.Errorf("cols = %v, want receiver order [y x]", d.Cols)
+	}
+	if got := d.Get("r1", "x"); got != 1 {
+		t.Errorf("Diff(r1,x) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,100 @@
+package verify
+
+// The attribution profiler is a pure observer like the rest of the
+// recorder: enabling it may not change any simulation result, and its
+// totals must be exact marginals of the counters the hierarchy already
+// keeps — every attributed L1 miss is a counted L1 miss, every
+// attributed affiliated hit is a counted affiliated hit, and the
+// attributed compression-failure words are exactly the incompressible
+// fraction of the fill traffic.
+
+import (
+	"testing"
+
+	"cppcache/internal/memsys"
+	"cppcache/internal/obs"
+)
+
+// attachAttr wires a recorder with the attribution profiler enabled.
+func attachAttr(sys memsys.System) *obs.Recorder {
+	rec := obs.New(obs.Config{Interval: 64, Attr: true})
+	rec.AttachStats(sys.Stats())
+	if a, ok := sys.(obs.Attachable); ok {
+		a.SetRecorder(rec)
+	}
+	return rec
+}
+
+func TestAttributionDoesNotPerturbResults(t *testing.T) {
+	for _, config := range []string{"BC", "BCP", "CPP", "VC", "LCC"} {
+		plain, mPlain := mustSystem(t, config)
+		if d := Check(plain, mPlain, RandomStream(23, 2000), Options{}); d != nil {
+			t.Fatalf("%s: unobserved run diverged: %v", config, d)
+		}
+
+		observed, mObs := mustSystem(t, config)
+		rec := attachAttr(observed)
+		step := int64(0)
+		opt := Options{Hook: func(_ int, _ memsys.System) {
+			step++
+			rec.OpTick(step)
+		}}
+		if d := Check(observed, mObs, RandomStream(23, 2000), opt); d != nil {
+			t.Fatalf("%s: attribution-observed run diverged: %v", config, d)
+		}
+		rec.Finish()
+
+		if *plain.Stats() != *observed.Stats() {
+			t.Errorf("%s: stats differ with attribution on:\nplain:    %+v\nobserved: %+v",
+				config, *plain.Stats(), *observed.Stats())
+		}
+		if rec.AttrTotal(obs.AttrL1Miss) == 0 {
+			t.Errorf("%s: attribution collected nothing (vacuous test)", config)
+		}
+	}
+}
+
+// TestAttributionConservation pins the profiler's totals to the
+// hierarchy's own counters on a CPP run: the profile is a partition of
+// the counted events, not a parallel estimate.
+func TestAttributionConservation(t *testing.T) {
+	sys, m := mustSystem(t, "CPP")
+	rec := attachAttr(sys)
+	step := int64(0)
+	opt := Options{Hook: func(_ int, _ memsys.System) {
+		step++
+		rec.OpTick(step)
+	}}
+	if d := Check(sys, m, RandomStream(7, 4000), opt); d != nil {
+		t.Fatalf("run diverged: %v", d)
+	}
+	rec.Finish()
+
+	st := sys.Stats()
+	if got, want := rec.AttrTotal(obs.AttrL1Miss), st.L1.Misses; got != want {
+		t.Errorf("attributed L1 misses %d != counted %d", got, want)
+	}
+	if got, want := rec.AttrTotal(obs.AttrAffHit), st.AffHitsL1+st.AffHitsL2; got != want {
+		t.Errorf("attributed affiliated hits %d != counted %d", got, want)
+	}
+	var fill, comp int64
+	for _, s := range rec.Snapshots() {
+		fill += s.FillWords
+		comp += s.FillCompWords
+	}
+	if got, want := rec.AttrTotal(obs.AttrFillFail), fill-comp; got != want {
+		t.Errorf("attributed fill-fail words %d != incompressible fill words %d", got, want)
+	}
+
+	// Per-kind entry counts must sum back to the kind totals: the top-N
+	// tables are views of one exact count set.
+	sums := map[string]int64{}
+	for _, e := range rec.AttrEntries() {
+		sums[e.Kind] += e.Count
+	}
+	for _, k := range obs.AttrKinds() {
+		if sums[k.String()] != rec.AttrTotal(k) {
+			t.Errorf("%s: entries sum to %d, total is %d", k, sums[k.String()], rec.AttrTotal(k))
+		}
+	}
+}
