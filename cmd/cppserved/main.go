@@ -14,7 +14,16 @@
 //	curl localhost:8077/metrics
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, no new
-// runs are accepted, and running jobs drain (up to -drain-timeout).
+// runs are accepted, queued jobs are canceled, and running jobs drain
+// cooperatively (up to -drain-timeout; stragglers are force-canceled
+// through their run contexts near the end of the window).
+//
+// Supervision knobs: -max-runs bounds concurrent simulations, -max-queue
+// the admission wait queue (beyond it POST /runs gets 429), -retain the
+// kept terminal runs, and -snap-ring the per-run snapshot history.
+// Per-run deadlines come from the RunSpec "timeout_sec" field. -chaos
+// enables the seeded fault-injection API (RunSpec "chaos" field) for
+// resilience drills.
 package main
 
 import (
@@ -39,6 +48,11 @@ func main() {
 		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for running jobs")
 		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		maxRuns      = flag.Int("max-runs", serve.DefaultMaxRunning, "max concurrently executing simulations")
+		maxQueue     = flag.Int("max-queue", serve.DefaultMaxQueue, "max queued runs before POST /runs gets 429")
+		retain       = flag.Int("retain", serve.DefaultRetain, "max terminal runs kept before eviction")
+		snapRing     = flag.Int("snap-ring", serve.DefaultSnapRing, "max interval snapshots retained per run")
+		allowChaos   = flag.Bool("chaos", false, "accept seeded fault-injection specs (RunSpec \"chaos\" field)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -53,8 +67,22 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	reg := serve.NewRegistry(log)
-	srv := &http.Server{Handler: serve.NewServer(reg, log)}
+	reg := serve.NewRegistryWith(serve.Config{
+		MaxRunning: *maxRuns,
+		MaxQueue:   *maxQueue,
+		Retain:     *retain,
+		SnapRing:   *snapRing,
+		AllowChaos: *allowChaos,
+	}, log)
+	srv := &http.Server{
+		Handler: serve.NewServer(reg, log),
+		// Slow-loris hardening: bound header and body read times and idle
+		// keep-alives. No WriteTimeout — SSE responses are long-lived by
+		// design; the stream handler enforces its own per-write deadlines.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

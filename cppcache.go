@@ -20,6 +20,7 @@
 package cppcache
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -282,6 +283,14 @@ type ObserveOptions struct {
 	// on the simulation goroutine; consumers that share the snapshot with
 	// other goroutines must do their own locking.
 	OnSnapshot func(obs.Snapshot)
+	// FaultHook, when set, is invoked at the simulator's fault-injection
+	// points (every memory operation, every hierarchy fill) with a site
+	// label. It is the plumbing for the seeded chaos harness
+	// (internal/chaos): a hook that panics, stalls or cancels exercises
+	// the supervisor's failure isolation. The hook runs synchronously on
+	// the simulation goroutine; an inert hook never changes simulation
+	// results (test-enforced).
+	FaultHook func(site string)
 }
 
 // Observation wraps the recorder of a completed observed run and renders
@@ -333,6 +342,21 @@ func (o *Observation) AttrTotal(kind obs.AttrKind) int64 { return o.rec.AttrTota
 // metrics, event tracing and latency histograms per ObserveOptions.
 // Attaching a recorder never changes simulation results.
 func RunObserved(benchmark string, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
+	return RunObservedContext(context.Background(), benchmark, cfg, opts, oo)
+}
+
+// RunContext is Run under a context: the simulation loops poll ctx
+// cooperatively (every few thousand cycles/ops) and abandon the run with
+// an error wrapping ctx.Err() when it is canceled or its deadline expires.
+// The observatory service uses this for per-run deadlines, user
+// cancellation and fast drain on shutdown.
+func RunContext(ctx context.Context, benchmark string, cfg CacheConfig, opts Options) (Result, error) {
+	res, _, err := RunObservedContext(ctx, benchmark, cfg, opts, ObserveOptions{})
+	return res, err
+}
+
+// RunObservedContext is RunObserved under a context (see RunContext).
+func RunObservedContext(ctx context.Context, benchmark string, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
 	scale := opts.Scale
 	if scale == 0 {
 		scale = workload.DefaultScale
@@ -341,11 +365,17 @@ func RunObserved(benchmark string, cfg CacheConfig, opts Options, oo ObserveOpti
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return RunProgramObserved(&Program{p: p}, cfg, opts, oo)
+	return RunProgramObservedContext(ctx, &Program{p: p}, cfg, opts, oo)
 }
 
 // RunProgramObserved is RunProgram with the observability layer attached.
 func RunProgramObserved(p *Program, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
+	return RunProgramObservedContext(context.Background(), p, cfg, opts, oo)
+}
+
+// RunProgramObservedContext is RunProgramObserved under a context (see
+// RunContext).
+func RunProgramObservedContext(ctx context.Context, p *Program, cfg CacheConfig, opts Options, oo ObserveOptions) (Result, *Observation, error) {
 	lat := memsys.DefaultLatencies()
 	if opts.HalveMissPenalty {
 		lat = lat.Halved()
@@ -358,12 +388,13 @@ func RunProgramObserved(p *Program, cfg CacheConfig, opts Options, oo ObserveOpt
 		AttrRegionBits: oo.AttrRegionBits,
 		OnSnapshot:     oo.OnSnapshot,
 	})
+	sup := sim.Supervision{Ctx: ctx, Fault: oo.FaultHook}
 	var r sim.Result
 	var err error
 	if opts.FunctionalOnly {
-		r, err = sim.RunFunctionalObserved(p.p, string(cfg), lat, rec)
+		r, err = sim.RunFunctionalSupervised(p.p, string(cfg), lat, rec, sup)
 	} else {
-		r, err = sim.RunObserved(p.p, string(cfg), lat, cpu.DefaultParams(), rec)
+		r, err = sim.RunSupervised(p.p, string(cfg), lat, cpu.DefaultParams(), rec, sup)
 	}
 	if err != nil {
 		return Result{}, nil, err

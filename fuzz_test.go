@@ -1,0 +1,43 @@
+package cppcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzResolveBenchmark hammers the public workload resolver with
+// arbitrary names: it must never panic, resolution must be idempotent
+// (a resolved name resolves to itself), and only catalogued benchmarks
+// may come back.
+func FuzzResolveBenchmark(f *testing.F) {
+	for _, b := range Benchmarks() {
+		f.Add(b)
+		if i := strings.LastIndexByte(b, '.'); i >= 0 {
+			f.Add(b[i+1:])
+		}
+	}
+	f.Add("")
+	f.Add(".")
+	f.Add("olden.")
+	f.Add("OLDEN.MST")
+	f.Add("mst.mst")
+	f.Add(strings.Repeat("x", 4096))
+
+	known := make(map[string]bool)
+	for _, b := range Benchmarks() {
+		known[b] = true
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		resolved, err := ResolveBenchmark(name)
+		if err != nil {
+			return
+		}
+		if !known[resolved] {
+			t.Errorf("ResolveBenchmark(%q) = %q, not in the catalogue", name, resolved)
+		}
+		again, err := ResolveBenchmark(resolved)
+		if err != nil || again != resolved {
+			t.Errorf("resolution not idempotent: %q -> %q -> %q (%v)", name, resolved, again, err)
+		}
+	})
+}

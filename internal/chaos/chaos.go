@@ -1,0 +1,192 @@
+// Package chaos is a seeded, deterministic fault-injection harness for
+// the simulator and the observatory's run supervisor.
+//
+// A Spec names up to three faults by the 1-based ordinal of the
+// fault-injection hook hit at which they fire: an injected panic (the
+// supervisor must convert it into a failed run, not a process crash), a
+// stall (the simulation goroutine blocks; deadlines and cancellation must
+// still terminate the run promptly) and a self-cancellation (the run's
+// own context is canceled mid-flight). Hook hits are counted across every
+// site the simulator exposes — one per memory operation
+// ("cpu.mem-op"/"sim.op") plus the hierarchy fills ("cpp.fill-l1",
+// "cpp.install-l2", "std.fetch-l1") — so for a fixed workload, scale and
+// configuration the trigger point is a fixed point in the execution:
+// replaying the same Spec fires the same fault at the same simulated
+// instant every time.
+//
+// An Injector whose triggers never fire is inert by construction: the
+// hook only increments a counter, so surviving (or re-run) simulations
+// are byte-identical to fault-free execution. The chaos test suite
+// enforces this with the internal/verify oracle.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxStallMs bounds Spec.StallMs so an adversarial run spec cannot park a
+// worker slot for longer than a minute.
+const MaxStallMs = 60_000
+
+// Spec configures deterministic fault injection for one run. Trigger
+// counts are 1-based hook-hit ordinals (PanicAfter == 1 fires at the very
+// first fault point the simulation crosses); zero triggers never fire.
+type Spec struct {
+	// Seed labels the scenario (see Scenario); it does not affect an
+	// explicitly-populated Spec.
+	Seed int64 `json:"seed,omitempty"`
+	// PanicAfter injects a panic (*chaos.Panic) at the Nth hook hit.
+	PanicAfter int64 `json:"panic_after,omitempty"`
+	// StallAfter blocks the simulation goroutine for StallMs milliseconds
+	// at the Nth hook hit. The stall aborts early if the run's context is
+	// canceled, so deadlines still terminate a stalled run promptly.
+	StallAfter int64 `json:"stall_after,omitempty"`
+	StallMs    int   `json:"stall_ms,omitempty"`
+	// CancelAfter cancels the run's own context at the Nth hook hit.
+	CancelAfter int64 `json:"cancel_after,omitempty"`
+}
+
+// Active reports whether any trigger can fire.
+func (s Spec) Active() bool {
+	return s.PanicAfter > 0 || s.StallAfter > 0 || s.CancelAfter > 0
+}
+
+// Validate rejects out-of-range fields.
+func (s Spec) Validate() error {
+	switch {
+	case s.PanicAfter < 0 || s.StallAfter < 0 || s.CancelAfter < 0:
+		return fmt.Errorf("chaos: trigger ordinals must be non-negative")
+	case s.StallMs < 0:
+		return fmt.Errorf("chaos: stall_ms must be non-negative")
+	case s.StallMs > MaxStallMs:
+		return fmt.Errorf("chaos: stall_ms %d exceeds the %d ms cap", s.StallMs, MaxStallMs)
+	case s.StallAfter > 0 && s.StallMs == 0:
+		return fmt.Errorf("chaos: stall_after set without stall_ms")
+	}
+	return nil
+}
+
+// String renders the spec for logs and run listings.
+func (s Spec) String() string {
+	out := fmt.Sprintf("chaos(seed=%d", s.Seed)
+	if s.PanicAfter > 0 {
+		out += fmt.Sprintf(", panic@%d", s.PanicAfter)
+	}
+	if s.StallAfter > 0 {
+		out += fmt.Sprintf(", stall@%d for %dms", s.StallAfter, s.StallMs)
+	}
+	if s.CancelAfter > 0 {
+		out += fmt.Sprintf(", cancel@%d", s.CancelAfter)
+	}
+	return out + ")"
+}
+
+// Scenario derives a single-fault spec deterministically from a seed: one
+// of panic, stall or cancel, triggered at a hook hit in [1, horizon]. The
+// chaos test suite sweeps seeds to cover every fault kind at scattered
+// execution points.
+func Scenario(seed, horizon int64) Spec {
+	if horizon < 1 {
+		horizon = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hit := 1 + rng.Int63n(horizon)
+	switch rng.Intn(3) {
+	case 0:
+		return Spec{Seed: seed, PanicAfter: hit}
+	case 1:
+		return Spec{Seed: seed, StallAfter: hit, StallMs: 5 + rng.Intn(20)}
+	default:
+		return Spec{Seed: seed, CancelAfter: hit}
+	}
+}
+
+// Panic is the value of an injected panic, distinguishable from organic
+// simulator panics by type assertion.
+type Panic struct {
+	Site string // hook site that fired
+	Hit  int64  // hook-hit ordinal
+	Seed int64  // scenario seed
+}
+
+// String implements fmt.Stringer (and is what recover+%v renders).
+func (p *Panic) String() string {
+	return fmt.Sprintf("chaos: injected panic at %s (hit %d, seed %d)", p.Site, p.Hit, p.Seed)
+}
+
+// Injector fires a Spec's faults at deterministic execution points. Hook
+// is the func to install as the simulator's fault hook; it must only be
+// called from the simulation goroutine. Hits and Fired are safe to read
+// from other goroutines while the run is in flight.
+type Injector struct {
+	spec   Spec
+	ctx    context.Context    // aborts stalls early; may be nil
+	cancel context.CancelFunc // fired by CancelAfter; may be nil
+
+	hits atomic.Int64
+
+	mu    sync.Mutex
+	fired []string
+}
+
+// New builds an injector. ctx, when non-nil, aborts an in-progress stall
+// as soon as it is canceled; cancel, when non-nil, is what CancelAfter
+// invokes (typically the run's own context cancel func).
+func New(spec Spec, ctx context.Context, cancel context.CancelFunc) *Injector {
+	return &Injector{spec: spec, ctx: ctx, cancel: cancel}
+}
+
+// Hook counts one fault-point crossing and fires any trigger whose
+// ordinal it reaches. Panic fires last so a coinciding cancel or stall is
+// still recorded.
+func (i *Injector) Hook(site string) {
+	n := i.hits.Add(1)
+	if n == i.spec.CancelAfter && i.cancel != nil {
+		i.record(fmt.Sprintf("cancel@%s#%d", site, n))
+		i.cancel()
+	}
+	if n == i.spec.StallAfter && i.spec.StallMs > 0 {
+		i.record(fmt.Sprintf("stall@%s#%d", site, n))
+		i.stall(time.Duration(i.spec.StallMs) * time.Millisecond)
+	}
+	if n == i.spec.PanicAfter {
+		i.record(fmt.Sprintf("panic@%s#%d", site, n))
+		panic(&Panic{Site: site, Hit: n, Seed: i.spec.Seed})
+	}
+}
+
+// stall blocks for d, returning early if the injector's context is
+// canceled (so a deadline can still kill a "hung" run promptly).
+func (i *Injector) stall(d time.Duration) {
+	if i.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-i.ctx.Done():
+	}
+}
+
+func (i *Injector) record(what string) {
+	i.mu.Lock()
+	i.fired = append(i.fired, what)
+	i.mu.Unlock()
+}
+
+// Hits returns how many fault points the simulation has crossed.
+func (i *Injector) Hits() int64 { return i.hits.Load() }
+
+// Fired returns a copy of the fired-action log, in firing order.
+func (i *Injector) Fired() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.fired...)
+}

@@ -15,6 +15,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"cppcache/internal/core"
@@ -183,6 +184,12 @@ type Core struct {
 	// latency observations. The nil case costs one branch per hook.
 	obs *obs.Recorder
 
+	// fault, when non-nil, is invoked at the core's fault-injection point
+	// (once per issued memory operation) with a site label. The chaos
+	// harness uses it to trigger panics, stalls and cancellations at
+	// deterministic execution points; nil costs one branch per memory op.
+	fault func(site string)
+
 	// Preallocated pipeline state, reused across every cycle of Run: ROB
 	// and IFQ rings of entry values, the memory-op ordering scratch, and
 	// the register scoreboard.
@@ -220,11 +227,31 @@ func New(p Params, d memsys.System) (*Core, error) {
 // called before Run.
 func (c *Core) SetRecorder(r *obs.Recorder) { c.obs = r }
 
+// SetFaultHook installs fn at the core's fault-injection point (nil
+// removes it). Must be called before Run.
+func (c *Core) SetFaultHook(fn func(site string)) { c.fault = fn }
+
+// cancelCheckEvery is the cadence, in scheduler iterations, of the
+// cooperative cancellation poll in RunContext. Each iteration advances
+// simulated time by at least one cycle, so a canceled context is observed
+// within this many cycles of work; the poll itself is a single non-blocking
+// channel receive, cheap enough to sit inside the pinned throughput
+// baseline's noise band (see BENCH_simperf.json and EXPERIMENTS.md).
+const cancelCheckEvery = 4096
+
 // stallSentinel marks the front end as blocked until an unresolved
 // mispredicted branch completes.
 const stallSentinel = int64(1) << 40
 
-// Run replays the stream to completion and returns timing statistics.
+// Run replays the stream to completion and returns timing statistics. It
+// is RunContext with a background (never-canceled) context.
+func (c *Core) Run(s isa.Stream) Result {
+	res, _ := c.RunContext(context.Background(), s)
+	return res
+}
+
+// RunContext replays the stream to completion and returns timing
+// statistics.
 //
 // The pipeline state lives in preallocated rings (c.rob, c.ifq) and
 // scratch slices, so the steady-state loop performs no heap allocation.
@@ -234,9 +261,17 @@ const stallSentinel = int64(1) << 40
 // by one; the skipped cycles are behaviourally identical no-ops, and their
 // ready-queue/miss instrumentation is accumulated in closed form so the
 // statistics match single-stepping exactly.
-func (c *Core) Run(s isa.Stream) Result {
+//
+// Cancellation is cooperative: every cancelCheckEvery scheduler iterations
+// the core polls ctx.Done() and, when the context is canceled or its
+// deadline has expired, abandons the run and returns the partial statistics
+// together with ctx's error. A context that can never be canceled (Done()
+// == nil, e.g. context.Background()) skips the polling entirely.
+func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 	s.Reset()
+	done := ctx.Done()
 	var (
+		iters int64
 		res             Result
 		cycle           int64
 		fetchStallUntil int64 // front-end blocked until this cycle (mispredict)
@@ -261,6 +296,14 @@ func (c *Core) Run(s isa.Stream) Result {
 		cycle++
 		if cycle > stallSentinel {
 			panic("cpu: simulation did not converge")
+		}
+		if iters++; done != nil && iters%cancelCheckEvery == 0 {
+			select {
+			case <-done:
+				res.Cycles = cycle
+				return res, ctx.Err()
+			default:
+			}
 		}
 
 		// --- Commit: retire completed instructions in order. ---
@@ -525,7 +568,7 @@ func (c *Core) Run(s isa.Stream) Result {
 	}
 
 	res.Cycles = cycle
-	return res
+	return res, nil
 }
 
 // setWriter records idx as the last dispatched writer of register r,
@@ -577,10 +620,15 @@ func (c *Core) ready(e *robEntry, cycle, headIdx int64, robHead, robLen int) boo
 // execute issues e at cycle, computing its completion time.
 func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	var lat int
-	if c.obs != nil && e.in.Op.IsMem() {
-		// The attribution profiler charges the hierarchy events of this
-		// access to the instruction's PC (attr.go).
-		c.obs.SetAccessPC(e.in.PC)
+	if e.in.Op.IsMem() {
+		if c.obs != nil {
+			// The attribution profiler charges the hierarchy events of
+			// this access to the instruction's PC (attr.go).
+			c.obs.SetAccessPC(e.in.PC)
+		}
+		if c.fault != nil {
+			c.fault("cpu.mem-op")
+		}
 	}
 	switch e.in.Op {
 	case isa.OpLoad:

@@ -76,6 +76,11 @@ type Standard struct {
 	// compressibility counts; a nil recorder costs one branch per hook.
 	obs *obs.Recorder
 
+	// fault, when non-nil, is invoked at the hierarchy's fault-injection
+	// point (every L1 miss fetch) with a site label; the chaos harness
+	// (internal/chaos) installs it. nil costs one branch per miss.
+	fault func(site string)
+
 	// fetchBuf stages one L2 line fetched from memory; valid until the
 	// next memFetchL2. Every caller hands it straight to fillL2, which
 	// copies it into the cache frame.
@@ -117,6 +122,11 @@ func (h *Standard) SetRecorder(r *obs.Recorder) {
 	h.obs = r
 	r.AttachStats(&h.stats)
 }
+
+// SetFaultHook installs fn at the hierarchy's fault-injection point: it is
+// called with site "std.fetch-l1" on every L1 miss fetch. nil removes the
+// hook. Embedders (Prefetch, Victim) inherit it.
+func (h *Standard) SetFaultHook(fn func(site string)) { h.fault = fn }
 
 // Occupancies implements memsys.Inspector.
 func (h *Standard) Occupancies() []memsys.Occupancy {
@@ -188,6 +198,9 @@ func evDirtyAux(dirty bool) int64 {
 // fetchIntoL1 brings the L1 line holding a into L1 and returns the total
 // access latency. The L1 miss has already been counted by the caller.
 func (h *Standard) fetchIntoL1(a mach.Addr) int {
+	if h.fault != nil {
+		h.fault("std.fetch-l1")
+	}
 	h.stats.L2.Accesses++
 	lat := h.cfg.Lat.L2Hit
 	l2line := h.l2.Access(a)

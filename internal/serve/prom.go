@@ -64,14 +64,16 @@ func escapeLabel(v string) string {
 
 // writeMetrics renders the registry in Prometheus text exposition format
 // version 0.0.4. Each run is one labelled series per family, plus
-// per-state run counts and interval counts.
-func writeMetrics(w *strings.Builder, runs []*Run) {
+// per-state run counts, interval counts, and the registry's own
+// supervision counters (queue depth, recovered panics, admission
+// rejections, evictions, dropped snapshots, slow-stream disconnects).
+func writeMetrics(w *strings.Builder, runs []*Run, c Counters) {
 	type sample struct {
 		labels string
 		totals obs.Snapshot
 	}
 	samples := make([]sample, 0, len(runs))
-	byState := map[RunState]int{StateRunning: 0, StateDone: 0, StateFailed: 0}
+	byState := map[RunState]int{}
 	intervals := make([]int, 0, len(runs))
 	for _, r := range runs {
 		st := r.Status()
@@ -85,9 +87,22 @@ func writeMetrics(w *strings.Builder, runs []*Run) {
 	}
 
 	fmt.Fprintf(w, "# HELP cppserved_runs Runs by lifecycle state.\n# TYPE cppserved_runs gauge\n")
-	for _, st := range []RunState{StateRunning, StateDone, StateFailed} {
+	for _, st := range States() {
 		fmt.Fprintf(w, "cppserved_runs{state=%q} %d\n", string(st), byState[st])
 	}
+	fmt.Fprintf(w, "# HELP cppserved_queue_depth Runs waiting for a worker slot.\n# TYPE cppserved_queue_depth gauge\n")
+	fmt.Fprintf(w, "cppserved_queue_depth %d\n", c.QueueDepth)
+	fmt.Fprintf(w, "# HELP cppserved_panics_recovered_total Job panics recovered into failed runs.\n# TYPE cppserved_panics_recovered_total counter\n")
+	fmt.Fprintf(w, "cppserved_panics_recovered_total %d\n", c.PanicsRecovered)
+	fmt.Fprintf(w, "# HELP cppserved_launch_rejected_total Launches rejected by admission control.\n# TYPE cppserved_launch_rejected_total counter\n")
+	fmt.Fprintf(w, "cppserved_launch_rejected_total{reason=\"queue_full\"} %d\n", c.RejectedQueueFull)
+	fmt.Fprintf(w, "cppserved_launch_rejected_total{reason=\"draining\"} %d\n", c.RejectedDraining)
+	fmt.Fprintf(w, "# HELP cppserved_runs_evicted_total Terminal runs evicted by the retention policy.\n# TYPE cppserved_runs_evicted_total counter\n")
+	fmt.Fprintf(w, "cppserved_runs_evicted_total %d\n", c.RunsEvicted)
+	fmt.Fprintf(w, "# HELP cppserved_snapshots_dropped_total Interval snapshots discarded by bounded per-run rings.\n# TYPE cppserved_snapshots_dropped_total counter\n")
+	fmt.Fprintf(w, "cppserved_snapshots_dropped_total %d\n", c.SnapshotsDropped)
+	fmt.Fprintf(w, "# HELP cppserved_slow_streams_disconnected_total SSE consumers disconnected for missing their write deadline.\n# TYPE cppserved_slow_streams_disconnected_total counter\n")
+	fmt.Fprintf(w, "cppserved_slow_streams_disconnected_total %d\n", c.SlowStreamsDropped)
 	fmt.Fprintf(w, "# HELP cppsim_intervals_total Metric snapshots taken.\n# TYPE cppsim_intervals_total counter\n")
 	for i, s := range samples {
 		fmt.Fprintf(w, "cppsim_intervals_total{%s} %d\n", s.labels, intervals[i])

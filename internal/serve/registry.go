@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"cppcache"
+	"cppcache/internal/chaos"
 	"cppcache/internal/obs"
 )
 
@@ -28,6 +32,14 @@ type RunSpec struct {
 	Attr bool `json:"attr,omitempty"`
 	// Halved halves the miss penalties (Figure 14 methodology).
 	Halved bool `json:"halved,omitempty"`
+	// TimeoutSec caps the run's execution time in seconds, counted from
+	// dispatch (not from time spent queued). 0 = no per-run deadline. A
+	// run that exceeds it is terminated cooperatively and marked failed.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Chaos requests deterministic fault injection for this run (panic,
+	// stall or self-cancel at seeded execution points). Only accepted
+	// when the registry was built with Config.AllowChaos.
+	Chaos *chaos.Spec `json:"chaos,omitempty"`
 }
 
 // DefaultInterval is the snapshot cadence when RunSpec.Interval is 0. Every
@@ -35,34 +47,93 @@ type RunSpec struct {
 // fed from.
 const DefaultInterval = 10_000
 
+// Validation bounds for RunSpec fields. Absurd values are rejected with a
+// structured 400 rather than admitted against finite memory and CPU.
+const (
+	MaxScale      = 4096
+	MaxInterval   = 1_000_000_000
+	MaxTimeoutSec = 3600
+)
+
 // RunState is a job's lifecycle phase.
 type RunState string
 
-// Job lifecycle states.
+// Job lifecycle states. A run is born queued, becomes running when the
+// admission controller dispatches it, and ends in exactly one of done,
+// failed or canceled.
 const (
-	StateRunning RunState = "running"
-	StateDone    RunState = "done"
-	StateFailed  RunState = "failed"
+	StateQueued   RunState = "queued"
+	StateRunning  RunState = "running"
+	StateDone     RunState = "done"
+	StateFailed   RunState = "failed"
+	StateCanceled RunState = "canceled"
+)
+
+// States lists every lifecycle state in order.
+func States() []RunState {
+	return []RunState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SpecError is a RunSpec validation failure, served as HTTP 400 with a
+// structured body naming the offending field.
+type SpecError struct {
+	Field string `json:"field"`
+	Msg   string `json:"error"`
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return fmt.Sprintf("%s: %s", e.Field, e.Msg) }
+
+func specErrorf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Admission-control sentinels, mapped to backpressure status codes by the
+// HTTP layer.
+var (
+	// ErrQueueFull: the worker pool and the wait queue are both at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("run queue full; retry later")
+	// ErrDraining: the registry is shutting down (HTTP 503).
+	ErrDraining = errors.New("registry is draining; not accepting new runs")
 )
 
 // Run is one simulation job managed by the registry. All mutable fields
-// are guarded by mu; the snapshot slice is append-only, so consumers can
-// hold an index into it across waits.
+// are guarded by mu. Snapshots live in a bounded ring: consumers address
+// them by ordinal (the index in the full published series) and may observe
+// a gap if the ring has dropped old entries.
 type Run struct {
 	ID   int     `json:"id"`
 	Spec RunSpec `json:"spec"`
 
-	mu       sync.Mutex
-	state    RunState
-	started  time.Time
-	finished time.Time
-	errMsg   string
-	result   *cppcache.Result
-	snaps    []obs.Snapshot
-	totals   obs.Snapshot // running column sums of snaps (PagesTouched: last gauge)
-	dropped  int64
-	attrText string
-	attrColl string
+	mu          sync.Mutex
+	state       RunState
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	errMsg      string
+	cancelCause string
+	cancel      context.CancelFunc // non-nil while running
+	result      *cppcache.Result
+	dropped     int64 // trace-ring drops reported by the recorder
+	attrText    string
+	attrColl    string
+
+	// Snapshot ring: snaps[snapHead..] wrapping, snapCount entries, the
+	// oldest of which is ordinal snapBase in the published series. The
+	// backing slice grows lazily toward ringCap.
+	snaps       []obs.Snapshot
+	ringCap     int
+	snapHead    int
+	snapCount   int
+	snapBase    int
+	snapDropped int64
+	totals      obs.Snapshot // running column sums of ALL published snaps
 
 	// changed is closed and replaced whenever snaps or state change;
 	// stream consumers wait on it.
@@ -71,46 +142,126 @@ type Run struct {
 
 // RunStatus is the JSON shape served for one run.
 type RunStatus struct {
-	ID        int              `json:"id"`
-	Spec      RunSpec          `json:"spec"`
-	State     RunState         `json:"state"`
-	Started   time.Time        `json:"started"`
-	Finished  *time.Time       `json:"finished,omitempty"`
-	Error     string           `json:"error,omitempty"`
-	Intervals int              `json:"intervals"`
-	Totals    obs.Snapshot     `json:"totals"`
-	Result    *cppcache.Result `json:"result,omitempty"`
+	ID               int              `json:"id"`
+	Spec             RunSpec          `json:"spec"`
+	State            RunState         `json:"state"`
+	Created          time.Time        `json:"created"`
+	Started          *time.Time       `json:"started,omitempty"`
+	Finished         *time.Time       `json:"finished,omitempty"`
+	Error            string           `json:"error,omitempty"`
+	Intervals        int              `json:"intervals"`
+	SnapshotsDropped int64            `json:"snapshots_dropped,omitempty"`
+	Totals           obs.Snapshot     `json:"totals"`
+	Result           *cppcache.Result `json:"result,omitempty"`
 }
 
-// Registry launches and tracks simulation jobs.
+// Config sizes the registry's admission control and retention.
+type Config struct {
+	// MaxRunning bounds concurrently executing simulations (the worker
+	// pool). 0 = DefaultMaxRunning.
+	MaxRunning int
+	// MaxQueue bounds runs waiting for a worker slot. 0 = DefaultMaxQueue.
+	MaxQueue int
+	// SnapRing bounds retained interval snapshots per run; older entries
+	// are dropped (and counted) once it fills. 0 = DefaultSnapRing.
+	SnapRing int
+	// Retain bounds retained terminal runs; the oldest are evicted (and
+	// counted) beyond it. 0 = DefaultRetain.
+	Retain int
+	// AllowChaos accepts RunSpec.Chaos fault-injection requests. Off by
+	// default: chaos is an operator tool, not a public API.
+	AllowChaos bool
+}
+
+// Admission-control and retention defaults.
+const (
+	DefaultMaxRunning = 4
+	DefaultMaxQueue   = 32
+	DefaultSnapRing   = 4096
+	DefaultRetain     = 256
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = DefaultMaxRunning
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.SnapRing <= 0 {
+		c.SnapRing = DefaultSnapRing
+	}
+	if c.Retain <= 0 {
+		c.Retain = DefaultRetain
+	}
+	return c
+}
+
+// Counters are the registry's own operational counters, exposed on
+// /metrics alongside the per-run simulation series.
+type Counters struct {
+	Running           int
+	QueueDepth        int
+	PanicsRecovered   int64
+	RunsEvicted       int64
+	RejectedQueueFull int64
+	RejectedDraining  int64
+	SlowStreamsDropped int64
+	SnapshotsDropped  int64 // summed over retained runs plus evicted ones
+}
+
+// Registry launches and tracks simulation jobs under supervision: a
+// bounded worker pool with a FIFO wait queue, per-run deadlines and
+// cancellation, panic isolation, bounded snapshot retention and eviction
+// of old terminal runs.
 type Registry struct {
+	cfg Config
 	log *slog.Logger
 
 	mu      sync.Mutex
 	runs    map[int]*Run
 	order   []int
+	queue   []int // ids of queued runs, FIFO
+	running int
 	next    int
 	closed  bool
 	pending sync.WaitGroup
+
+	panics        int64
+	evicted       int64
+	rejectedFull  int64
+	rejectedDrain int64
+	slowStreams   int64
+	evictedDrops  int64 // snapshot drops of evicted runs, so the counter survives eviction
 }
 
-// NewRegistry builds an empty registry. A nil logger discards job logs.
+// NewRegistry builds an empty registry with default supervision limits. A
+// nil logger discards job logs.
 func NewRegistry(log *slog.Logger) *Registry {
+	return NewRegistryWith(Config{}, log)
+}
+
+// NewRegistryWith builds an empty registry with explicit limits.
+func NewRegistryWith(cfg Config, log *slog.Logger) *Registry {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Registry{log: log, runs: make(map[int]*Run), next: 1}
+	return &Registry{cfg: cfg.withDefaults(), log: log, runs: make(map[int]*Run), next: 1}
 }
 
+// Limits returns the registry's effective configuration.
+func (g *Registry) Limits() Config { return g.cfg }
+
 // normalize validates and canonicalises a spec, resolving workload
-// suffixes and upper-casing the configuration.
+// suffixes and upper-casing the configuration. Violations come back as
+// *SpecError (HTTP 400).
 func (g *Registry) normalize(spec RunSpec) (RunSpec, error) {
 	if spec.Workload == "" {
-		return spec, fmt.Errorf("workload is required")
+		return spec, specErrorf("workload", "workload is required")
 	}
 	resolved, err := cppcache.ResolveBenchmark(spec.Workload)
 	if err != nil {
-		return spec, err
+		return spec, specErrorf("workload", "%v", err)
 	}
 	spec.Workload = resolved
 	if spec.Config == "" {
@@ -118,23 +269,36 @@ func (g *Registry) normalize(spec RunSpec) (RunSpec, error) {
 	}
 	cfg, ok := cppcache.KnownConfig(spec.Config)
 	if !ok {
-		return spec, fmt.Errorf("unknown configuration %q", spec.Config)
+		return spec, specErrorf("config", "unknown configuration %q", spec.Config)
 	}
 	spec.Config = string(cfg)
-	if spec.Scale < 0 {
-		return spec, fmt.Errorf("scale must be non-negative")
+	if spec.Scale < 0 || spec.Scale > MaxScale {
+		return spec, specErrorf("scale", "scale must be in [0, %d], got %d", MaxScale, spec.Scale)
 	}
-	if spec.Interval < 0 {
-		return spec, fmt.Errorf("interval must be non-negative")
+	if spec.Interval < 0 || spec.Interval > MaxInterval {
+		return spec, specErrorf("interval", "interval must be in [0, %d], got %d", MaxInterval, spec.Interval)
 	}
 	if spec.Interval == 0 {
 		spec.Interval = DefaultInterval
 	}
+	if spec.TimeoutSec < 0 || spec.TimeoutSec > MaxTimeoutSec {
+		return spec, specErrorf("timeout_sec", "timeout_sec must be in [0, %d], got %g", MaxTimeoutSec, spec.TimeoutSec)
+	}
+	if spec.Chaos != nil {
+		if !g.cfg.AllowChaos {
+			return spec, specErrorf("chaos", "chaos injection is disabled (start cppserved with -chaos)")
+		}
+		if err := spec.Chaos.Validate(); err != nil {
+			return spec, specErrorf("chaos", "%v", err)
+		}
+	}
 	return spec, nil
 }
 
-// Launch validates spec, registers a run and starts the simulation on its
-// own goroutine. It returns the registered run immediately.
+// Launch validates spec and admits a run: dispatched immediately when a
+// worker slot is free, queued when the wait queue has room, rejected with
+// ErrQueueFull/ErrDraining otherwise. It returns the registered run
+// immediately.
 func (g *Registry) Launch(spec RunSpec) (*Run, error) {
 	spec, err := g.normalize(spec)
 	if err != nil {
@@ -143,49 +307,216 @@ func (g *Registry) Launch(spec RunSpec) (*Run, error) {
 
 	g.mu.Lock()
 	if g.closed {
+		g.rejectedDrain++
 		g.mu.Unlock()
-		return nil, fmt.Errorf("registry is draining; not accepting new runs")
+		return nil, ErrDraining
+	}
+	if g.running >= g.cfg.MaxRunning && len(g.queue) >= g.cfg.MaxQueue {
+		g.rejectedFull++
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrQueueFull, g.running, len(g.queue))
 	}
 	run := &Run{
 		ID:      g.next,
 		Spec:    spec,
-		state:   StateRunning,
-		started: time.Now(),
+		state:   StateQueued,
+		created: time.Now(),
+		ringCap: g.cfg.SnapRing,
 		changed: make(chan struct{}),
 	}
 	g.next++
 	g.runs[run.ID] = run
 	g.order = append(g.order, run.ID)
-	g.pending.Add(1)
+	if g.running < g.cfg.MaxRunning {
+		g.startLocked(run)
+	} else {
+		g.queue = append(g.queue, run.ID)
+		g.log.Info("run queued", "run", run.ID, "workload", spec.Workload,
+			"config", spec.Config, "queue_depth", len(g.queue))
+	}
 	g.mu.Unlock()
-
-	log := g.log.With("run", run.ID, "workload", spec.Workload, "config", spec.Config)
-	log.Info("run launched", "functional", spec.Functional, "interval", spec.Interval, "attr", spec.Attr)
-
-	go func() {
-		defer g.pending.Done()
-		start := time.Now()
-		res, ob, err := cppcache.RunObserved(spec.Workload, cppcache.CacheConfig(spec.Config),
-			cppcache.Options{
-				Scale:            spec.Scale,
-				HalveMissPenalty: spec.Halved,
-				FunctionalOnly:   spec.Functional,
-			},
-			cppcache.ObserveOptions{
-				IntervalCycles: spec.Interval,
-				Attr:           spec.Attr,
-				OnSnapshot:     run.appendSnapshot,
-			})
-		if err != nil {
-			run.fail(err)
-			log.Error("run failed", "err", err, "elapsed", time.Since(start))
-			return
-		}
-		run.complete(&res, ob)
-		log.Info("run done", "elapsed", time.Since(start),
-			"l1_misses", res.L1Misses, "traffic_words", res.MemTrafficWords)
-	}()
 	return run, nil
+}
+
+// startLocked dispatches a queued run onto its own goroutine. Callers hold
+// g.mu. It reports false if the run was no longer dispatchable (canceled
+// while queued).
+func (g *Registry) startLocked(run *Run) bool {
+	run.mu.Lock()
+	if run.state != StateQueued {
+		run.mu.Unlock()
+		return false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if run.Spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(),
+			time.Duration(run.Spec.TimeoutSec*float64(time.Second)))
+	}
+	run.state = StateRunning
+	run.started = time.Now()
+	run.cancel = cancel
+	run.notifyLocked()
+	run.mu.Unlock()
+
+	g.running++
+	g.pending.Add(1)
+	g.log.Info("run launched", "run", run.ID, "workload", run.Spec.Workload,
+		"config", run.Spec.Config, "functional", run.Spec.Functional,
+		"interval", run.Spec.Interval, "attr", run.Spec.Attr,
+		"timeout_sec", run.Spec.TimeoutSec, "chaos", run.Spec.Chaos != nil)
+	go g.execute(run, ctx, cancel)
+	return true
+}
+
+// execute runs one simulation job to a terminal state. It owns the
+// goroutine: a panic anywhere below (simulator bugs, injected chaos) is
+// recovered into StateFailed with the captured stack, never a process
+// crash.
+func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelFunc) {
+	start := time.Now()
+	defer g.pending.Done()
+	defer cancel()
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			run.failf("panic: %v\n\n%s", p, stack)
+			g.mu.Lock()
+			g.panics++
+			g.mu.Unlock()
+			g.log.Error("run panicked; isolated", "run", run.ID, "panic", fmt.Sprint(p),
+				"elapsed", time.Since(start))
+		}
+		g.onFinished()
+	}()
+
+	spec := run.Spec
+	oo := cppcache.ObserveOptions{
+		IntervalCycles: spec.Interval,
+		Attr:           spec.Attr,
+		OnSnapshot:     run.appendSnapshot,
+	}
+	if spec.Chaos != nil && spec.Chaos.Active() {
+		inj := chaos.New(*spec.Chaos, ctx, func() {
+			run.setCancelCause("canceled by chaos injection")
+			cancel()
+		})
+		oo.FaultHook = inj.Hook
+	}
+	res, ob, err := cppcache.RunObservedContext(ctx, spec.Workload, cppcache.CacheConfig(spec.Config),
+		cppcache.Options{
+			Scale:            spec.Scale,
+			HalveMissPenalty: spec.Halved,
+			FunctionalOnly:   spec.Functional,
+		}, oo)
+	switch {
+	case err == nil:
+		run.complete(&res, ob)
+		g.log.Info("run done", "run", run.ID, "elapsed", time.Since(start),
+			"l1_misses", res.L1Misses, "traffic_words", res.MemTrafficWords)
+	case errors.Is(err, context.DeadlineExceeded):
+		run.failf("run exceeded its %gs deadline", spec.TimeoutSec)
+		g.log.Warn("run deadline expired", "run", run.ID, "timeout_sec", spec.TimeoutSec,
+			"elapsed", time.Since(start))
+	case errors.Is(err, context.Canceled):
+		run.markCanceled()
+		g.log.Info("run canceled", "run", run.ID, "cause", run.CancelCause(),
+			"elapsed", time.Since(start))
+	default:
+		run.fail(err)
+		g.log.Error("run failed", "run", run.ID, "err", err, "elapsed", time.Since(start))
+	}
+}
+
+// onFinished releases the worker slot, dispatches queued work and applies
+// the retention policy.
+func (g *Registry) onFinished() {
+	g.mu.Lock()
+	g.running--
+	g.scheduleLocked()
+	g.evictLocked()
+	g.mu.Unlock()
+}
+
+// scheduleLocked dispatches queued runs while worker slots are free,
+// skipping runs canceled while they waited. Callers hold g.mu.
+func (g *Registry) scheduleLocked() {
+	for g.running < g.cfg.MaxRunning && len(g.queue) > 0 {
+		id := g.queue[0]
+		g.queue = g.queue[1:]
+		if run, ok := g.runs[id]; ok {
+			g.startLocked(run)
+		}
+	}
+}
+
+// evictLocked enforces Config.Retain: beyond it, the oldest terminal runs
+// are forgotten (404 afterwards). Running and queued runs are never
+// evicted. Callers hold g.mu.
+func (g *Registry) evictLocked() {
+	terminal := 0
+	for _, id := range g.order {
+		if g.runs[id] != nil && g.runs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= g.cfg.Retain {
+		return
+	}
+	keep := g.order[:0]
+	for _, id := range g.order {
+		run := g.runs[id]
+		if run == nil {
+			continue
+		}
+		if terminal > g.cfg.Retain && run.State().Terminal() {
+			terminal--
+			g.evicted++
+			g.evictedDrops += run.SnapshotsDropped()
+			delete(g.runs, id)
+			g.log.Info("run evicted", "run", id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	g.order = keep
+}
+
+// Cancel requests cancellation of a run: a queued run is canceled on the
+// spot; a running one is signaled through its context and reaches the
+// canceled state as soon as the simulator's cooperative check fires. It
+// returns an error if the run is already terminal.
+func (g *Registry) Cancel(id int, cause string) error {
+	run, ok := g.Get(id)
+	if !ok {
+		return fmt.Errorf("no run %d", id)
+	}
+	if cause == "" {
+		cause = "canceled"
+	}
+	run.mu.Lock()
+	switch {
+	case run.state == StateQueued:
+		run.state = StateCanceled
+		run.cancelCause = cause
+		run.errMsg = cause
+		run.finished = time.Now()
+		run.notifyLocked()
+		run.mu.Unlock()
+		g.log.Info("queued run canceled", "run", id, "cause", cause)
+		return nil
+	case run.state == StateRunning:
+		run.cancelCause = cause
+		cancel := run.cancel
+		run.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		state := run.state
+		run.mu.Unlock()
+		return fmt.Errorf("run %d is already %s", id, state)
+	}
 }
 
 // Get returns the run with the given id.
@@ -196,7 +527,7 @@ func (g *Registry) Get(id int) (*Run, bool) {
 	return run, ok
 }
 
-// Runs returns every run in launch order.
+// Runs returns every retained run in launch order.
 func (g *Registry) Runs() []*Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -207,33 +538,118 @@ func (g *Registry) Runs() []*Run {
 	return out
 }
 
-// Drain stops accepting new runs and waits for the running ones to finish,
-// up to timeout. It reports whether everything drained in time.
+// Counters returns the registry's operational counters.
+func (g *Registry) Counters() Counters {
+	g.mu.Lock()
+	c := Counters{
+		Running:            g.running,
+		QueueDepth:         len(g.queue),
+		PanicsRecovered:    g.panics,
+		RunsEvicted:        g.evicted,
+		RejectedQueueFull:  g.rejectedFull,
+		RejectedDraining:   g.rejectedDrain,
+		SlowStreamsDropped: g.slowStreams,
+		SnapshotsDropped:   g.evictedDrops,
+	}
+	runs := make([]*Run, 0, len(g.order))
+	for _, id := range g.order {
+		runs = append(runs, g.runs[id])
+	}
+	g.mu.Unlock()
+	for _, run := range runs {
+		c.SnapshotsDropped += run.SnapshotsDropped()
+	}
+	return c
+}
+
+// CountSlowStream records one SSE consumer disconnected for not keeping
+// up with its write deadline.
+func (g *Registry) CountSlowStream() {
+	g.mu.Lock()
+	g.slowStreams++
+	g.mu.Unlock()
+}
+
+// Drain stops accepting new runs, cancels everything still queued, and
+// waits for the running jobs. If they have not finished after 80% of the
+// timeout, they are force-canceled through their contexts (the simulator's
+// cooperative checks make that prompt) and granted the remaining 20%. It
+// reports whether everything drained in time.
 func (g *Registry) Drain(timeout time.Duration) bool {
 	g.mu.Lock()
 	g.closed = true
+	queued := g.queue
+	g.queue = nil
 	g.mu.Unlock()
+	for _, id := range queued {
+		if run, ok := g.Get(id); ok {
+			run.mu.Lock()
+			if run.state == StateQueued {
+				run.state = StateCanceled
+				run.cancelCause = "server draining"
+				run.errMsg = "server draining"
+				run.finished = time.Now()
+				run.notifyLocked()
+			}
+			run.mu.Unlock()
+		}
+	}
 
 	done := make(chan struct{})
 	go func() {
 		g.pending.Wait()
 		close(done)
 	}()
+	grace := timeout / 5
 	select {
 	case <-done:
 		return true
-	case <-time.After(timeout):
+	case <-time.After(timeout - grace):
+	}
+
+	// Cooperative wait expired: cancel the stragglers and give them the
+	// remaining grace period to unwind.
+	for _, run := range g.Runs() {
+		run.mu.Lock()
+		var cancel context.CancelFunc
+		if run.state == StateRunning {
+			if run.cancelCause == "" {
+				run.cancelCause = "server draining"
+			}
+			cancel = run.cancel
+		}
+		run.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	select {
+	case <-done:
+		return true
+	case <-time.After(grace):
 		return false
 	}
 }
 
-// appendSnapshot publishes one interval delta. It runs on the simulation
-// goroutine (via ObserveOptions.OnSnapshot), synchronously with the
-// recorder's own append, so the registry's series is always exactly the
-// recorder's series.
+// appendSnapshot publishes one interval delta into the bounded ring. It
+// runs on the simulation goroutine (via ObserveOptions.OnSnapshot),
+// synchronously with the recorder's own append, so the registry's series
+// is always exactly the recorder's series (modulo ring-dropped prefixes,
+// which are counted).
 func (r *Run) appendSnapshot(s obs.Snapshot) {
 	r.mu.Lock()
-	r.snaps = append(r.snaps, s)
+	if r.snapCount < r.ringCap {
+		// Growth phase: the ring has never wrapped, so snapHead is 0 and
+		// the slice simply extends toward ringCap.
+		r.snaps = append(r.snaps, s)
+		r.snapCount++
+	} else {
+		// Ring full: overwrite the oldest and account the drop.
+		r.snaps[r.snapHead] = s
+		r.snapHead = (r.snapHead + 1) % len(r.snaps)
+		r.snapBase++
+		r.snapDropped++
+	}
 	addSnapshot(&r.totals, s)
 	r.notifyLocked()
 	r.mu.Unlock()
@@ -287,6 +703,40 @@ func (r *Run) fail(err error) {
 	r.mu.Unlock()
 }
 
+// failf is fail with a formatted message.
+func (r *Run) failf(format string, args ...any) {
+	r.fail(fmt.Errorf(format, args...))
+}
+
+// markCanceled moves a running run to the canceled terminal state.
+func (r *Run) markCanceled() {
+	r.mu.Lock()
+	r.state = StateCanceled
+	r.finished = time.Now()
+	if r.cancelCause == "" {
+		r.cancelCause = "canceled"
+	}
+	r.errMsg = r.cancelCause
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// setCancelCause records why a cancellation is about to happen.
+func (r *Run) setCancelCause(cause string) {
+	r.mu.Lock()
+	if r.cancelCause == "" {
+		r.cancelCause = cause
+	}
+	r.mu.Unlock()
+}
+
+// CancelCause returns the recorded cancellation cause ("" if none).
+func (r *Run) CancelCause() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelCause
+}
+
 // notifyLocked wakes every waiter. Callers hold r.mu.
 func (r *Run) notifyLocked() {
 	close(r.changed)
@@ -298,14 +748,19 @@ func (r *Run) Status() RunStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := RunStatus{
-		ID:        r.ID,
-		Spec:      r.Spec,
-		State:     r.state,
-		Started:   r.started,
-		Error:     r.errMsg,
-		Intervals: len(r.snaps),
-		Totals:    r.totals,
-		Result:    r.result,
+		ID:               r.ID,
+		Spec:             r.Spec,
+		State:            r.state,
+		Created:          r.created,
+		Error:            r.errMsg,
+		Intervals:        r.snapBase + r.snapCount,
+		SnapshotsDropped: r.snapDropped,
+		Totals:           r.totals,
+		Result:           r.result,
+	}
+	if !r.started.IsZero() {
+		s := r.started
+		st.Started = &s
 	}
 	if !r.finished.IsZero() {
 		f := r.finished
@@ -328,6 +783,14 @@ func (r *Run) Totals() obs.Snapshot {
 	return r.totals
 }
 
+// SnapshotsDropped returns how many old snapshots the bounded ring has
+// discarded.
+func (r *Run) SnapshotsDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapDropped
+}
+
 // Profile returns the attribution outputs ("" when attribution was off or
 // the run has not finished).
 func (r *Run) Profile() (text, collapsed string) {
@@ -336,14 +799,23 @@ func (r *Run) Profile() (text, collapsed string) {
 	return r.attrText, r.attrColl
 }
 
-// SnapsFrom returns the snapshots at index >= i, the current state, and a
-// channel that is closed on the next change. The returned slice aliases
-// the append-only backing array and must not be mutated.
-func (r *Run) SnapsFrom(i int) (snaps []obs.Snapshot, state RunState, changed <-chan struct{}) {
+// SnapsFrom returns a copy of the retained snapshots at ordinal >= i, the
+// ordinal of the first returned snapshot (> i exactly when the ring has
+// dropped the requested prefix), the current state, and a channel that is
+// closed on the next change.
+func (r *Run) SnapsFrom(i int) (snaps []obs.Snapshot, from int, state RunState, changed <-chan struct{}) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if i < len(r.snaps) {
-		snaps = r.snaps[i:len(r.snaps):len(r.snaps)]
+	from = i
+	if from < r.snapBase {
+		from = r.snapBase
 	}
-	return snaps, r.state, r.changed
+	total := r.snapBase + r.snapCount
+	if from < total {
+		snaps = make([]obs.Snapshot, 0, total-from)
+		for ord := from; ord < total; ord++ {
+			snaps = append(snaps, r.snaps[(r.snapHead+(ord-r.snapBase))%len(r.snaps)])
+		}
+	}
+	return snaps, from, r.state, r.changed
 }

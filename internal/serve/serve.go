@@ -1,26 +1,34 @@
 // Package serve is the simulation observatory: a long-running HTTP
-// service that launches simulator runs as jobs, tracks them in a
-// registry, and exposes their telemetry while they execute.
+// service that launches simulator runs as supervised jobs, tracks them in
+// a registry, and exposes their telemetry while they execute.
 //
 // Endpoints:
 //
-//	POST /runs               launch a job (JSON RunSpec body)
-//	GET  /runs               list runs
-//	GET  /runs/{id}          one run's status, totals and final result
-//	GET  /runs/{id}/stream   SSE: replay + follow the interval snapshots
-//	GET  /runs/{id}/profile  attribution profile (text or collapsed stacks)
-//	GET  /metrics            Prometheus text exposition over all runs
-//	GET  /healthz            liveness
-//	GET  /debug/pprof/...    net/http/pprof
+//	POST   /runs               launch a job (JSON RunSpec body)
+//	GET    /runs               list runs
+//	GET    /runs/{id}          one run's status, totals and final result
+//	DELETE /runs/{id}          cancel a queued or running job
+//	GET    /runs/{id}/stream   SSE: replay + follow the interval snapshots
+//	GET    /runs/{id}/profile  attribution profile (text or collapsed stacks)
+//	GET    /metrics            Prometheus text exposition over all runs
+//	GET    /healthz            liveness
+//	GET    /debug/pprof/...    net/http/pprof
 //
 // Counters on /metrics are sums of the per-interval snapshot deltas, so
 // at the end of a run they equal the recorder's final totals exactly; the
 // SSE stream carries the same deltas, so a client summing them reproduces
-// /metrics. Both invariants are test-enforced.
+// /metrics. Both invariants are test-enforced. When the bounded snapshot
+// ring has dropped a stream's requested prefix, the stream says so with an
+// explicit "gap" event rather than silently resuming.
+//
+// Failure mapping: invalid specs are HTTP 400 with a structured body
+// naming the field, a full admission queue is 429 with Retry-After, and a
+// draining registry is 503.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -30,11 +38,21 @@ import (
 	"time"
 )
 
+// DefaultStreamWriteTimeout is the per-write deadline applied to SSE
+// responses: a consumer that cannot absorb an event batch within it is
+// disconnected (and counted) instead of parking the handler goroutine
+// forever.
+const DefaultStreamWriteTimeout = 30 * time.Second
+
 // Server wires the registry to an http.Handler.
 type Server struct {
 	reg *Registry
 	log *slog.Logger
 	mux *http.ServeMux
+
+	// StreamWriteTimeout overrides DefaultStreamWriteTimeout when > 0.
+	// Tests set it tiny to exercise slow-consumer disconnection.
+	StreamWriteTimeout time.Duration
 }
 
 // NewServer builds the observatory handler around a registry.
@@ -46,6 +64,7 @@ func NewServer(reg *Registry, log *slog.Logger) *Server {
 	s.mux.HandleFunc("POST /runs", s.handleLaunch)
 	s.mux.HandleFunc("GET /runs", s.handleList)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -98,7 +117,9 @@ func (s *Server) runFromPath(w http.ResponseWriter, r *http.Request) (*Run, bool
 	return run, true
 }
 
-// handleLaunch is POST /runs.
+// handleLaunch is POST /runs. Spec violations are 400 with the offending
+// field; admission backpressure is 429 (queue full, with Retry-After) or
+// 503 (draining).
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var spec RunSpec
 	dec := json.NewDecoder(r.Body)
@@ -109,7 +130,20 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	}
 	run, err := s.reg.Launch(spec)
 	if err != nil {
-		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		var se *SpecError
+		switch {
+		case errors.As(err, &se):
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(se)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
 		return
 	}
 	w.Header().Set("Location", fmt.Sprintf("/runs/%d", run.ID))
@@ -139,6 +173,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, run.Status())
 }
 
+// handleCancel is DELETE /runs/{id}: cancel a queued or running job. A
+// queued run turns canceled immediately; a running one as soon as the
+// simulator's cooperative cancellation check fires. Canceling a terminal
+// run is 409.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.runFromPath(w, r)
+	if !ok {
+		return
+	}
+	if err := s.reg.Cancel(run.ID, "canceled via DELETE /runs/"+strconv.Itoa(run.ID)); err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, run.Status())
+}
+
+// writeJSONBody writes v as JSON without touching the status code (for
+// handlers that already wrote their header).
+func writeJSONBody(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 // handleProfile is GET /runs/{id}/profile. ?format=collapsed selects the
 // flame-graph collapsed-stack rendering.
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -150,8 +209,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "run %d was launched without attribution (set \"attr\": true)", run.ID)
 		return
 	}
-	if run.State() == StateRunning {
-		jsonError(w, http.StatusConflict, "run %d still running; profile is available at completion", run.ID)
+	if !run.State().Terminal() {
+		jsonError(w, http.StatusConflict, "run %d still %s; profile is available at completion", run.ID, run.State())
 		return
 	}
 	text, collapsed := run.Profile()
@@ -166,54 +225,103 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
-	writeMetrics(&b, s.reg.Runs())
+	writeMetrics(&b, s.reg.Runs(), s.reg.Counters())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }
 
-// handleStream is GET /runs/{id}/stream: server-sent events. Every
-// interval snapshot the run has ever published is replayed in order (the
-// stream is lossless), then the handler follows live appends until the
-// run reaches a terminal state, closing with an "end" event carrying the
-// final status. Event ids are snapshot ordinals.
+// streamWriteTimeout returns the SSE per-write deadline in effect.
+func (s *Server) streamWriteTimeout() time.Duration {
+	if s.StreamWriteTimeout > 0 {
+		return s.StreamWriteTimeout
+	}
+	return DefaultStreamWriteTimeout
+}
+
+// handleStream is GET /runs/{id}/stream: server-sent events. The retained
+// interval snapshots are replayed in order, then the handler follows live
+// appends until the run reaches a terminal state, closing with an "end"
+// event carrying the final status. Event ids are snapshot ordinals. When
+// the bounded ring has dropped the requested prefix, a "gap" event names
+// the skipped ordinal range before the stream resumes. Every write batch
+// runs under a deadline: a consumer that cannot keep up is disconnected
+// and counted (cppserved_slow_streams_disconnected_total) instead of
+// pinning the handler goroutine.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.runFromPath(w, r)
 	if !ok {
 		return
 	}
 	fl, canFlush := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
-	next := 0
-	for {
-		snaps, state, changed := run.SnapsFrom(next)
-		for _, snap := range snaps {
-			data, err := json.Marshal(snap)
-			if err != nil {
-				return
-			}
-			fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", next, data)
-			next++
+	// push emits one batch under the write deadline; false disconnects.
+	push := func(emit func() error) bool {
+		// ResponseWriters without deadline support (recorders) just skip
+		// the deadline; real connections enforce it per batch.
+		rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout()))
+		if err := emit(); err != nil {
+			s.reg.CountSlowStream()
+			s.log.Warn("slow stream consumer disconnected", "run", run.ID, "err", err)
+			return false
 		}
 		if canFlush {
 			fl.Flush()
 		}
-		if state != StateRunning {
-			// Drain any snapshots that landed between SnapsFrom and the
+		return true
+	}
+
+	next := 0
+	emitFrom := func(next int) (int, bool) {
+		snaps, from, _, _ := run.SnapsFrom(next)
+		if from > next {
+			okPush := push(func() error {
+				_, err := fmt.Fprintf(w, "event: gap\ndata: {\"from\":%d,\"resumed\":%d,\"dropped\":%d}\n\n",
+					next, from, from-next)
+				return err
+			})
+			if !okPush {
+				return next, false
+			}
+			next = from
+		}
+		for _, snap := range snaps {
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return next, false
+			}
+			id := next
+			if !push(func() error {
+				_, err := fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", id, data)
+				return err
+			}) {
+				return next, false
+			}
+			next++
+		}
+		return next, true
+	}
+
+	for {
+		var live bool
+		if next, live = emitFrom(next); !live {
+			return
+		}
+		_, _, state, changed := run.SnapsFrom(next)
+		if state.Terminal() {
+			// Drain any snapshots that landed between the emit and the
 			// terminal-state observation before closing.
-			snaps, _, _ := run.SnapsFrom(next)
-			for _, snap := range snaps {
-				data, _ := json.Marshal(snap)
-				fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", next, data)
-				next++
+			if next, live = emitFrom(next); !live {
+				return
 			}
 			final, _ := json.Marshal(run.Status())
-			fmt.Fprintf(w, "event: end\ndata: %s\n\n", final)
-			if canFlush {
-				fl.Flush()
-			}
+			push(func() error {
+				_, err := fmt.Fprintf(w, "event: end\ndata: %s\n\n", final)
+				return err
+			})
 			return
 		}
 		select {

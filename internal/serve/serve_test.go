@@ -34,7 +34,7 @@ func launch(t *testing.T, ts *httptest.Server, spec string) RunStatus {
 	return st
 }
 
-// waitDone polls until the run leaves the running state.
+// waitDone polls until the run reaches a terminal state.
 func waitDone(t *testing.T, ts *httptest.Server, id int) RunStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -49,7 +49,7 @@ func waitDone(t *testing.T, ts *httptest.Server, id int) RunStatus {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.State != StateRunning {
+		if st.State.Terminal() {
 			return st
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -288,12 +288,16 @@ func TestLaunchValidation(t *testing.T) {
 		code int
 	}{
 		{`{"workload":"treeadd","config":"CPP","functional":true}`, http.StatusCreated},
-		{`{}`, http.StatusUnprocessableEntity},                                    // workload required
-		{`{"workload":"nope"}`, http.StatusUnprocessableEntity},                   // unknown workload
-		{`{"workload":"treeadd","config":"ZZZ"}`, http.StatusUnprocessableEntity}, // unknown config
-		{`{"workload":"treeadd","scale":-1}`, http.StatusUnprocessableEntity},     // bad scale
-		{`{"workload":"treeadd","interval":-5}`, http.StatusUnprocessableEntity},  // bad interval
-		{`{"workload":"treeadd","bogus":1}`, http.StatusBadRequest},               // unknown field
+		{`{}`, http.StatusBadRequest},                                        // workload required
+		{`{"workload":"nope"}`, http.StatusBadRequest},                       // unknown workload
+		{`{"workload":"treeadd","config":"ZZZ"}`, http.StatusBadRequest},     // unknown config
+		{`{"workload":"treeadd","scale":-1}`, http.StatusBadRequest},         // bad scale
+		{`{"workload":"treeadd","scale":99999}`, http.StatusBadRequest},      // absurd scale
+		{`{"workload":"treeadd","interval":-5}`, http.StatusBadRequest},      // bad interval
+		{`{"workload":"treeadd","timeout_sec":-1}`, http.StatusBadRequest},   // bad timeout
+		{`{"workload":"treeadd","timeout_sec":1e6}`, http.StatusBadRequest},  // absurd timeout
+		{`{"workload":"treeadd","chaos":{"panic_after":1}}`, http.StatusBadRequest}, // chaos disabled by default
+		{`{"workload":"treeadd","bogus":1}`, http.StatusBadRequest},          // unknown field
 		{`not json`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
@@ -304,6 +308,28 @@ func TestLaunchValidation(t *testing.T) {
 		readAll(t, resp)
 		if resp.StatusCode != c.code {
 			t.Errorf("POST %s: status %d, want %d", c.spec, resp.StatusCode, c.code)
+		}
+	}
+
+	// Spec violations carry a structured body naming the offending field.
+	fields := map[string]string{
+		`{"workload":"treeadd","scale":-1}`:       "scale",
+		`{"workload":"treeadd","timeout_sec":-1}`: "timeout_sec",
+		`{"workload":"treeadd","interval":-5}`:    "interval",
+		`{}`:                                      "workload",
+	}
+	for spec, field := range fields {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var se SpecError
+		if err := json.NewDecoder(resp.Body).Decode(&se); err != nil {
+			t.Fatalf("POST %s: undecodable error body: %v", spec, err)
+		}
+		resp.Body.Close()
+		if se.Field != field || se.Msg == "" {
+			t.Errorf("POST %s: error body %+v, want field %q", spec, se, field)
 		}
 	}
 }
@@ -361,7 +387,7 @@ func TestDrainRejectsNewRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := readAll(t, resp)
-	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(body, "draining") {
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
 		t.Fatalf("post-drain launch: status %d body %q", resp.StatusCode, body)
 	}
 }

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cppcache/internal/core"
@@ -78,6 +79,35 @@ func Run(p *workload.Program, config string, lat memsys.Latencies, params cpu.Pa
 	return RunObserved(p, config, lat, params, nil)
 }
 
+// Supervision bundles the run-control concerns of a supervised simulation:
+// cooperative cancellation and deterministic fault injection. The zero
+// value supervises nothing and reproduces the plain run exactly.
+type Supervision struct {
+	// Ctx, when non-nil, cancels the run cooperatively: the main loops
+	// poll it every few thousand cycles/ops and abandon the run with
+	// ctx's error. nil means context.Background().
+	Ctx context.Context
+	// Fault, when non-nil, is invoked at the simulator's fault-injection
+	// points (hierarchy fills, per memory op) with a site label. The
+	// chaos harness (internal/chaos) uses it to fire panics, stalls and
+	// cancellations at deterministic execution points.
+	Fault func(site string)
+}
+
+// ctx returns the supervision context, defaulting to Background.
+func (s Supervision) ctx() context.Context {
+	if s.Ctx == nil {
+		return context.Background()
+	}
+	return s.Ctx
+}
+
+// faultHookable is implemented by hierarchies that expose fault-injection
+// points (core.Hierarchy, hier.Standard).
+type faultHookable interface {
+	SetFaultHook(func(site string))
+}
+
 // attachRecorder connects rec to a built system: the stats block is
 // always attached (every memsys.System exposes one), and hierarchies
 // implementing obs.Attachable additionally get event/fill hooks.
@@ -91,10 +121,30 @@ func attachRecorder(sys memsys.System, rec *obs.Recorder) {
 	}
 }
 
+// attachFault connects the chaos fault hook to hierarchies that expose
+// injection points; other systems simply skip the hierarchy-level sites.
+func attachFault(sys memsys.System, fault func(string)) {
+	if fault == nil {
+		return
+	}
+	if fh, ok := sys.(faultHookable); ok {
+		fh.SetFaultHook(fault)
+	}
+}
+
 // RunObserved is Run with an observability recorder attached to the core
 // and the memory hierarchy. A nil recorder reproduces Run exactly. The
 // recorder is finished (trailing snapshot emitted) before returning.
 func RunObserved(p *workload.Program, config string, lat memsys.Latencies, params cpu.Params, rec *obs.Recorder) (Result, error) {
+	return RunSupervised(p, config, lat, params, rec, Supervision{})
+}
+
+// RunSupervised is RunObserved under run supervision: the context cancels
+// the pipeline loop cooperatively (the partial recorder state is still
+// finished, so any snapshots already published stay consistent) and the
+// fault hook is plumbed into the core and the hierarchy. A zero
+// Supervision reproduces RunObserved exactly.
+func RunSupervised(p *workload.Program, config string, lat memsys.Latencies, params cpu.Params, rec *obs.Recorder, sup Supervision) (Result, error) {
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
@@ -105,10 +155,16 @@ func RunObserved(p *workload.Program, config string, lat memsys.Latencies, param
 		return Result{}, err
 	}
 	attachRecorder(sys, rec)
+	attachFault(sys, sup.Fault)
 	rec.AttachMemPages(m.PagesTouched)
 	c.SetRecorder(rec)
-	res := c.Run(p.Stream())
+	c.SetFaultHook(sup.Fault)
+	res, runErr := c.RunContext(sup.ctx(), p.Stream())
 	rec.Finish()
+	if runErr != nil {
+		return Result{}, fmt.Errorf("sim: %s on %s canceled at cycle %d: %w",
+			p.Name, config, res.Cycles, runErr)
+	}
 	if res.ValueMismatches > 0 {
 		return Result{}, fmt.Errorf("sim: %s on %s: %d load value mismatches (cache model corrupted data)",
 			p.Name, config, res.ValueMismatches)
@@ -129,28 +185,59 @@ func RunFunctional(p *workload.Program, config string, lat memsys.Latencies) (Re
 // per "cycle" in snapshots and traces). A nil recorder reproduces
 // RunFunctional exactly.
 func RunFunctionalObserved(p *workload.Program, config string, lat memsys.Latencies, rec *obs.Recorder) (Result, error) {
+	return RunFunctionalSupervised(p, config, lat, rec, Supervision{})
+}
+
+// funcCancelCheckEvery is the cadence, in replayed memory ops, of the
+// functional loop's cooperative cancellation poll.
+const funcCancelCheckEvery = 4096
+
+// RunFunctionalSupervised is RunFunctionalObserved under run supervision:
+// the context cancels the replay loop cooperatively (polled every
+// funcCancelCheckEvery ops) and the fault hook fires once per memory op
+// plus at the hierarchy's own injection points. A zero Supervision
+// reproduces RunFunctionalObserved exactly.
+func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Latencies, rec *obs.Recorder, sup Supervision) (Result, error) {
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
 		return Result{}, err
 	}
 	attachRecorder(sys, rec)
+	attachFault(sys, sup.Fault)
 	rec.AttachMemPages(m.PagesTouched)
 	s := p.Stream()
+	done := sup.ctx().Done()
+	fault := sup.Fault
 	var mismatches, op int64
 	for {
 		in, ok := s.Next()
 		if !ok {
 			break
 		}
+		if done != nil && op%funcCancelCheckEvery == 0 {
+			select {
+			case <-done:
+				rec.Finish()
+				return Result{}, fmt.Errorf("sim: %s on %s (functional) canceled at op %d: %w",
+					p.Name, config, op, sup.ctx().Err())
+			default:
+			}
+		}
 		switch in.Op {
 		case isa.OpLoad:
 			rec.SetAccessPC(in.PC)
+			if fault != nil {
+				fault("sim.op")
+			}
 			if v, _ := sys.Read(in.Addr); v != in.Value {
 				mismatches++
 			}
 		case isa.OpStore:
 			rec.SetAccessPC(in.PC)
+			if fault != nil {
+				fault("sim.op")
+			}
 			sys.Write(in.Addr, in.Value)
 		}
 		op++
