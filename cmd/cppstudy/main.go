@@ -10,6 +10,13 @@
 // difference table (last configuration minus first):
 //
 //	cppstudy -phase olden.mst -configs BC,CPP -interval 10000 [-out prefix]
+//
+// Compressor-zoo mode compares the registered line-compression schemes:
+// every workload runs on BCC under each scheme (functional mode), and the
+// table reports off-chip traffic as a ratio to the uncompressed BC
+// baseline (lower is better), with per-scheme gate-delay figures:
+//
+//	cppstudy -compressors [-scale 1]
 package main
 
 import (
@@ -105,6 +112,52 @@ func runPhase(bench string, configs []string, interval int64, scale int, outPref
 	return 0
 }
 
+// runCompressors executes the compressor-zoo comparison and returns an
+// exit status: one BCC run per workload x scheme (functional mode — the
+// schemes share miss behaviour and differ only in bus traffic), reported
+// as traffic ratios to the uncompressed BC baseline.
+func runCompressors(scale int) int {
+	sc := scale
+	if sc == 0 {
+		sc = 1 // functional sweeps don't need the full compute phase
+	}
+	schemes := cppcache.Compressors()
+	benches := cppcache.Benchmarks()
+	t := stats.NewTable("BCC off-chip traffic ratio vs BC, per compression scheme", benches, schemes)
+	for _, bench := range benches {
+		base, err := cppcache.Run(bench, cppcache.BC, cppcache.Options{Scale: sc, FunctionalOnly: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppstudy:", err)
+			return 1
+		}
+		for _, scheme := range schemes {
+			r, err := cppcache.Run(bench, cppcache.BCC, cppcache.Options{
+				Scale: sc, FunctionalOnly: true, Compressor: scheme,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cppstudy:", err)
+				return 1
+			}
+			t.Set(bench, scheme, r.MemTrafficWords/base.MemTrafficWords)
+		}
+	}
+	g := t.WithGeomeanRow()
+	g.Note = fmt.Sprintf("scale=%d; 1.00 = uncompressed BC traffic; lower is better", sc)
+	fmt.Println(g)
+
+	fmt.Println("combinational gate depth per scheme:")
+	fmt.Printf("%-8s %12s %12s\n", "scheme", "compress", "decompress")
+	for _, scheme := range schemes {
+		c, d, err := cppcache.CompressorDelays(scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppstudy:", err)
+			return 1
+		}
+		fmt.Printf("%-8s %11dg %11dg\n", scheme, c, d)
+	}
+	return 0
+}
+
 func main() {
 	var (
 		scale  = flag.Int("scale", 0, "workload scale (0 = default)")
@@ -114,11 +167,16 @@ func main() {
 		configs  = flag.String("configs", "BC,CPP", "comma-separated configurations for -phase")
 		interval = flag.Int64("interval", 10000, "snapshot cadence in cycles for -phase")
 		out      = flag.String("out", "", "prefix for per-config interval CSVs written by -phase")
+
+		compressors = flag.Bool("compressors", false, "compressor-zoo mode: compare schemes' BCC traffic across all workloads")
 	)
 	flag.Parse()
 
 	if *phase != "" {
 		os.Exit(runPhase(*phase, strings.Split(*configs, ","), *interval, *scale, *out))
+	}
+	if *compressors {
+		os.Exit(runCompressors(*scale))
 	}
 
 	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	cppverify [-seeds 100] [-ops 5000] [-configs BC,BCC,HAC,BCP,CPP]
-//	          [-workloads olden.treeadd,...] [-scale 1] [-workers N] [-v]
+//	          [-compressor all] [-workloads olden.treeadd,...] [-scale 1]
+//	          [-workers N] [-v]
+//
+// -compressor selects the line-compression schemes to verify (default
+// "all": every registered scheme). Configurations that compress bus
+// transfers (BCC, LCC) are expanded to one run per selected scheme; the
+// other configurations run once under the paper's scheme.
 //
 // Exit status is 0 when every run is clean, 1 on any divergence.
 package main
@@ -19,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"cppcache/internal/compress"
 	"cppcache/internal/sim"
 	"cppcache/internal/verify"
 	"cppcache/internal/workload"
@@ -36,6 +43,7 @@ func main() {
 		base      = flag.Int64("seed", 1, "first seed")
 		ops       = flag.Int("ops", 5000, "ops per random stream")
 		configs   = flag.String("configs", strings.Join(sim.Configs(), ","), "comma-separated configurations (also accepts VC, LCC)")
+		schemes   = flag.String("compressor", "all", "comma-separated compression schemes for the compressing configs (\"all\" for every registered scheme)")
 		workloads = flag.String("workloads", "", "comma-separated workload traces to replay (\"all\" for every benchmark)")
 		scale     = flag.Int("scale", 1, "workload scale for -workloads")
 		deep      = flag.Int("deep", 256, "full-state invariant scan cadence in ops")
@@ -58,6 +66,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cppverify: unknown configuration %q\n", c)
 			os.Exit(2)
 		}
+	}
+
+	schemeList := schemeArg(*schemes)
+	for _, s := range schemeList {
+		if _, err := compress.Get(s); err != nil {
+			fmt.Fprintln(os.Stderr, "cppverify:", err)
+			os.Exit(2)
+		}
+	}
+	// Expand the config x scheme matrix: compressing configs get one run
+	// per selected scheme, the rest run once under the paper's default —
+	// but only when the default is among the selected schemes.
+	var runList []string
+	for _, c := range cfgList {
+		if compresses(c) {
+			for _, s := range schemeList {
+				runList = append(runList, sim.WithCompressor(c, s))
+			}
+			continue
+		}
+		for _, s := range schemeList {
+			if sim.ValidateCompressor(c, s) == nil {
+				runList = append(runList, c)
+				break
+			}
+		}
+	}
+	if len(runList) == 0 {
+		fmt.Fprintf(os.Stderr, "cppverify: no runnable config x scheme combinations (-compressor %s applies to %s)\n",
+			strings.Join(schemeList, ","), strings.Join(sim.CompressorConfigs(), " and "))
+		os.Exit(2)
 	}
 
 	var streams []*verify.Stream
@@ -110,7 +149,7 @@ func main() {
 		}()
 	}
 	for _, s := range streams {
-		for _, c := range cfgList {
+		for _, c := range runList {
 			jobs <- job{config: c, stream: s, label: s.Name}
 		}
 	}
@@ -119,7 +158,7 @@ func main() {
 
 	if len(divergent) == 0 {
 		fmt.Printf("PASS: %d runs clean (%d streams x %d configs), invariants: %s\n",
-			ran, len(streams), len(cfgList), strings.Join(verify.Invariants(), ", "))
+			ran, len(streams), len(runList), strings.Join(verify.Invariants(), ", "))
 		return
 	}
 
@@ -153,6 +192,32 @@ func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		if part = strings.ToUpper(strings.TrimSpace(part)); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// compresses reports whether the config's bus behaviour depends on the
+// selected compression scheme.
+func compresses(config string) bool {
+	for _, c := range sim.CompressorConfigs() {
+		if config == c {
+			return true
+		}
+	}
+	return false
+}
+
+// schemeArg parses the -compressor list; scheme names are lower-case,
+// unlike the upper-case config names.
+func schemeArg(s string) []string {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return compress.Schemes()
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.ToLower(strings.TrimSpace(part)); part != "" {
 			out = append(out, part)
 		}
 	}

@@ -58,6 +58,15 @@ func TestCppsimFlagValidation(t *testing.T) {
 		{"hist in functional mode",
 			[]string{"-workload", "treeadd", "-functional", "-hist"},
 			[]string{"-hist", "-functional"}},
+		{"unknown compressor",
+			[]string{"-workload", "treeadd", "-config", "BCC", "-compressor", "zzz"},
+			[]string{"zzz", "paper", "cpack", "fpc", "bdi"}},
+		{"compressor on non-compressing config",
+			[]string{"-workload", "treeadd", "-config", "CPP", "-compressor", "fpc"},
+			[]string{"CPP", "fpc"}},
+		{"compressor on baseline config",
+			[]string{"-workload", "treeadd", "-config", "BC", "-compressor", "bdi"},
+			[]string{"BC", "bdi", "BCC"}},
 		{"stray positional args",
 			[]string{"-workload", "treeadd", "stray"},
 			[]string{"unexpected arguments"}},
@@ -83,6 +92,17 @@ func TestCppsimFlagValidation(t *testing.T) {
 	out := run(t, bin, "-workload", "olden.treeadd", "-bench", "olden.treeadd",
 		"-config", "CPP", "-scale", "1", "-functional")
 	expect(t, out, "olden.treeadd")
+
+	// A valid zoo scheme on a compressing config runs and self-labels;
+	// the explicit default stays silent (byte-identical default output).
+	out = run(t, bin, "-workload", "olden.treeadd", "-config", "BCC",
+		"-compressor", "fpc", "-scale", "1", "-functional")
+	expect(t, out, "compressor       fpc")
+	out = run(t, bin, "-workload", "olden.treeadd", "-config", "BCC",
+		"-compressor", "paper", "-scale", "1", "-functional")
+	if strings.Contains(out, "compressor ") {
+		t.Errorf("default scheme printed a compressor line:\n%s", out)
+	}
 }
 
 func TestCppservedFlagValidation(t *testing.T) {

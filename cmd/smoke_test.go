@@ -84,7 +84,7 @@ func TestSmokeCppstudy(t *testing.T) {
 func TestSmokeCppverify(t *testing.T) {
 	bin := build(t, "cppverify")
 	out := run(t, bin, "-seeds", "3", "-ops", "800")
-	expect(t, out, "PASS", "15 runs clean", "oracle-value")
+	expect(t, out, "PASS", "24 runs clean", "oracle-value")
 	out = run(t, bin, "-seeds", "1", "-ops", "500", "-configs", "CPP", "-workloads", "olden.treeadd", "-v")
 	expect(t, out, "ok   CPP", "olden.treeadd", "2 runs clean")
 }
@@ -154,7 +154,7 @@ func TestSmokeCppserved(t *testing.T) {
 	expect(t, status, `"state": "done"`, `"workload": "olden.treeadd"`)
 	expect(t, get("/metrics"),
 		"# TYPE cppsim_l1_misses_total counter",
-		`cppsim_l1_misses_total{run="1",workload="olden.treeadd",config="CPP"}`,
+		`cppsim_l1_misses_total{run="1",workload="olden.treeadd",config="CPP",compressor="paper"}`,
 		`cppserved_runs{state="done"} 1`)
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

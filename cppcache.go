@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cppcache/internal/compress"
 	"cppcache/internal/core"
 	"cppcache/internal/cpu"
 	"cppcache/internal/hier"
@@ -121,6 +122,34 @@ func KnownConfig(name string) (CacheConfig, bool) {
 	return cfg, false
 }
 
+// Compressors returns the registered line-compression schemes in
+// registration order: "paper" (the reproduced scheme, always the
+// default), then the comparison zoo ("cpack", "fpc", "bdi").
+func Compressors() []string { return compress.Schemes() }
+
+// DefaultCompressor returns the name of the paper's scheme, the default
+// everywhere a compressor is selectable.
+func DefaultCompressor() string { return compress.Default().Name() }
+
+// KnownCompressor reports whether name (case-insensitively, "" meaning
+// the default) is a registered compression scheme, returning its
+// canonical lower-case form.
+func KnownCompressor(name string) (string, bool) {
+	c, err := compress.Get(name)
+	if err != nil {
+		return strings.ToLower(strings.TrimSpace(name)), false
+	}
+	return c.Name(), true
+}
+
+// ValidateCompressor reports whether the scheme can back the given cache
+// configuration. Every configuration accepts the default scheme; only
+// the configurations that compress bus transfers (BCC, LCC) accept a
+// non-default one.
+func ValidateCompressor(cfg CacheConfig, scheme string) error {
+	return sim.ValidateCompressor(string(cfg), scheme)
+}
+
 // BenchmarkInfo describes one workload.
 type BenchmarkInfo struct {
 	Name         string
@@ -150,12 +179,20 @@ type Options struct {
 	// FunctionalOnly skips the pipeline model: misses and traffic are
 	// still exact, cycle counts are zero. Roughly 10x faster.
 	FunctionalOnly bool
+	// Compressor selects the line-compression scheme for configurations
+	// that compress bus transfers (BCC, LCC). "" means the paper's
+	// scheme; see Compressors for the registered zoo. Selecting a
+	// non-default scheme on any other configuration is an error.
+	Compressor string
 }
 
 // Result reports one run.
 type Result struct {
 	Benchmark string
 	Config    CacheConfig
+	// Compressor is the line-compression scheme the run used ("paper"
+	// unless a zoo scheme was selected on a compressing configuration).
+	Compressor string
 
 	Cycles       int64
 	Instructions int64
@@ -204,9 +241,14 @@ func (r Result) L2MissRate() float64 {
 }
 
 func fromSim(r sim.Result) Result {
+	base, scheme := sim.SplitConfig(r.Config)
+	if scheme == "" {
+		scheme = compress.Default().Name()
+	}
 	return Result{
 		Benchmark:            r.Benchmark,
-		Config:               CacheConfig(r.Config),
+		Config:               CacheConfig(base),
+		Compressor:           scheme,
 		Cycles:               r.CPU.Cycles,
 		Instructions:         r.CPU.Instructions,
 		IPC:                  r.CPU.IPC(),
@@ -247,18 +289,35 @@ func RunProgram(p *Program, cfg CacheConfig, opts Options) (Result, error) {
 	if opts.HalveMissPenalty {
 		lat = lat.Halved()
 	}
+	config, err := schemeQualified(cfg, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	if opts.FunctionalOnly {
-		r, err := sim.RunFunctional(p.p, string(cfg), lat)
+		r, err := sim.RunFunctional(p.p, config, lat)
 		if err != nil {
 			return Result{}, err
 		}
 		return fromSim(r), nil
 	}
-	r, err := sim.Run(p.p, string(cfg), lat, cpu.DefaultParams())
+	r, err := sim.Run(p.p, config, lat, cpu.DefaultParams())
 	if err != nil {
 		return Result{}, err
 	}
 	return fromSim(r), nil
+}
+
+// schemeQualified validates Options.Compressor against cfg and composes
+// the scheme-qualified config name the simulator understands. The default
+// scheme yields the bare name, keeping default runs byte-identical.
+func schemeQualified(cfg CacheConfig, opts Options) (string, error) {
+	if opts.Compressor == "" {
+		return string(cfg), nil
+	}
+	if err := sim.ValidateCompressor(string(cfg), opts.Compressor); err != nil {
+		return "", err
+	}
+	return sim.WithCompressor(string(cfg), opts.Compressor), nil
 }
 
 // ObserveOptions configure the observability layer of an observed run.
@@ -388,13 +447,16 @@ func RunProgramObservedContext(ctx context.Context, p *Program, cfg CacheConfig,
 		AttrRegionBits: oo.AttrRegionBits,
 		OnSnapshot:     oo.OnSnapshot,
 	})
+	config, err := schemeQualified(cfg, opts)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	sup := sim.Supervision{Ctx: ctx, Fault: oo.FaultHook}
 	var r sim.Result
-	var err error
 	if opts.FunctionalOnly {
-		r, err = sim.RunFunctionalSupervised(p.p, string(cfg), lat, rec, sup)
+		r, err = sim.RunFunctionalSupervised(p.p, config, lat, rec, sup)
 	} else {
-		r, err = sim.RunSupervised(p.p, string(cfg), lat, cpu.DefaultParams(), rec, sup)
+		r, err = sim.RunSupervised(p.p, config, lat, cpu.DefaultParams(), rec, sup)
 	}
 	if err != nil {
 		return Result{}, nil, err

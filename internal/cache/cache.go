@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 
+	"cppcache/internal/compress"
 	"cppcache/internal/mach"
 	"cppcache/internal/memsys"
 )
@@ -49,7 +50,11 @@ type Line struct {
 	Dirty bool
 	Tag   mach.Addr // line number, not just the tag bits
 	Data  []mach.Word
-	used  uint64 // LRU timestamp
+	// CompHalves is tag metadata: the line's compressed size in 16-bit
+	// half-words under the scheme installed with TrackCompression, kept
+	// current across fills and word writes. 0 when untracked.
+	CompHalves int
+	used       uint64 // LRU timestamp
 }
 
 // Addr returns the base byte address of the line.
@@ -74,6 +79,9 @@ type Cache struct {
 	tick    uint64
 	setMask mach.Addr
 	evBuf   []mach.Word // backs Evicted.Data; see Evicted
+	// comp, when set by TrackCompression, maintains each line's
+	// CompHalves tag metadata.
+	comp compress.Compressor
 }
 
 // New builds a cache, validating the parameters.
@@ -97,6 +105,22 @@ func New(p Params) (*Cache, error) {
 		c.sets[i] = ways
 	}
 	return c, nil
+}
+
+// TrackCompression installs a line-compression scheme whose per-line
+// compressed size is maintained as tag metadata (Line.CompHalves) on
+// every fill and word write, and aggregated by Occupancy. nil stops
+// tracking.
+func (c *Cache) TrackCompression(comp compress.Compressor) { c.comp = comp }
+
+// RefreshMeta recomputes a line's compression tag metadata after its Data
+// was mutated directly (the hierarchies' write-back merge paths do this).
+func (c *Cache) RefreshMeta(l *Line) { c.refreshMeta(l) }
+
+func (c *Cache) refreshMeta(l *Line) {
+	if c.comp != nil {
+		l.CompHalves = c.comp.LineHalves(l.Data, l.Addr(c.geom))
+	}
 }
 
 // MustNew is New but panics on invalid parameters; for tests and constants.
@@ -177,6 +201,7 @@ func (c *Cache) Fill(a mach.Addr, data []mach.Word) Evicted {
 	v.Dirty = false
 	v.Tag = c.geom.LineNumber(a)
 	copy(v.Data, data)
+	c.refreshMeta(v)
 	c.tick++
 	v.used = c.tick
 	return ev
@@ -193,6 +218,7 @@ func (c *Cache) Invalidate(a mach.Addr) Evicted {
 	ev := Evicted{Valid: true, Dirty: l.Dirty, Tag: l.Tag, Data: c.evBuf}
 	l.Valid = false
 	l.Dirty = false
+	l.CompHalves = 0
 	return ev
 }
 
@@ -214,6 +240,7 @@ func (c *Cache) WriteWord(a mach.Addr, v mach.Word) bool {
 	}
 	l.Data[c.geom.WordIndex(a)] = v
 	l.Dirty = true
+	c.refreshMeta(l)
 	return true
 }
 
@@ -242,13 +269,18 @@ func (c *Cache) Capacity() int { return c.p.Sets() * c.p.Assoc }
 // Lines store words uncompressed, so every valid line occupies its full
 // two half-words per word.
 func (c *Cache) Occupancy(level string) memsys.Occupancy {
-	lines := c.Count()
+	lines, compHalves := 0, 0
+	c.Lines(func(_ int, l *Line) {
+		lines++
+		compHalves += l.CompHalves
+	})
 	words := c.geom.Words()
 	return memsys.Occupancy{
-		Level:   level,
-		Lines:   lines,
-		LineCap: c.Capacity(),
-		Halves:  lines * words * 2,
-		HalfCap: c.Capacity() * words * 2,
+		Level:      level,
+		Lines:      lines,
+		LineCap:    c.Capacity(),
+		Halves:     lines * words * 2,
+		HalfCap:    c.Capacity() * words * 2,
+		CompHalves: compHalves,
 	}
 }

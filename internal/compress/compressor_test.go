@@ -1,0 +1,243 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cppcache/internal/mach"
+)
+
+// mustGet resolves a scheme or fails the test.
+func mustGet(t *testing.T, name string) Compressor {
+	t.Helper()
+	c, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"paper", "cpack", "fpc", "bdi"}
+	if got := Schemes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Schemes() = %v, want %v", got, want)
+	}
+	if Default().Name() != "paper" {
+		t.Fatalf("default scheme is %s, want paper", Default().Name())
+	}
+	for _, name := range []string{"", "paper", "PAPER", " Paper "} {
+		if c, err := Get(name); err != nil || c.Name() != "paper" {
+			t.Fatalf("Get(%q) = %v, %v; want paper", name, c, err)
+		}
+	}
+	if c := mustGet(t, "FPC"); c.Name() != "fpc" {
+		t.Fatalf("Get is not case-insensitive: got %s", c.Name())
+	}
+	if _, err := Get("zlib"); err == nil {
+		t.Fatal("unknown scheme not rejected")
+	}
+}
+
+// checkLine asserts the cross-scheme contract on one line: the size
+// function matches the emitted image, the worst-case bound holds, and
+// decompression is byte-identical to the input.
+func checkLine(t *testing.T, c Compressor, words []mach.Word, base mach.Addr) {
+	t.Helper()
+	enc := c.CompressLine(words, base)
+	if h := c.LineHalves(words, base); h != enc.Halves() {
+		t.Fatalf("%s: LineHalves=%d but image is %d halves (%d bits) for %#v at %#x",
+			c.Name(), h, enc.Halves(), enc.NBits, words, base)
+	}
+	if w := c.WorstCaseHalves(len(words)); enc.Halves() > w {
+		t.Fatalf("%s: %d halves exceeds declared worst case %d for %d words",
+			c.Name(), enc.Halves(), w, len(words))
+	}
+	out := make([]mach.Word, len(words))
+	if err := c.DecompressLine(enc, base, out); err != nil {
+		t.Fatalf("%s: decompress: %v", c.Name(), err)
+	}
+	if !reflect.DeepEqual(out, words) {
+		t.Fatalf("%s: roundtrip mismatch:\n in  %#v\n out %#v", c.Name(), words, out)
+	}
+}
+
+// randomLine builds a line mixing the generator's value classes.
+func randomLine(rng *rand.Rand, n int, base mach.Addr) []mach.Word {
+	words := make([]mach.Word, n)
+	for i := range words {
+		a := base + mach.Addr(i*mach.WordBytes)
+		switch rng.Intn(6) {
+		case 0:
+			words[i] = 0
+		case 1:
+			words[i] = mach.Word(int32(rng.Intn(1<<15)) - (1 << 14))
+		case 2:
+			words[i] = (a &^ 0x7FFF) | mach.Word(rng.Intn(1<<15))&^3
+		case 3:
+			words[i] = words[rng.Intn(i+1)] // encourage dictionary/rep hits
+		case 4:
+			words[i] = mach.Word(0x1000_0000 + rng.Intn(256)) // narrow deltas
+		default:
+			words[i] = rng.Uint32() | 1<<30
+		}
+	}
+	return words
+}
+
+// TestConformanceQuick drives every registered scheme through the
+// testing/quick harness: random lines, random bases, the full contract.
+func TestConformanceQuick(t *testing.T) {
+	for _, name := range Schemes() {
+		c := mustGet(t, name)
+		t.Run(name, func(t *testing.T) {
+			f := func(n uint8, baseSel uint16, s int64) bool {
+				rng := rand.New(rand.NewSource(s))
+				nwords := 1 + int(n)%32
+				base := mach.Addr(baseSel) << 6 // word- and line-aligned
+				checkLine(t, c, randomLine(rng, nwords, base), base)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGateDelayDeterministic pins the contract that the latency model is
+// a pure function: repeated queries agree and are positive, and the paper
+// scheme matches the §3.2 constants.
+func TestGateDelayDeterministic(t *testing.T) {
+	for _, name := range Schemes() {
+		c := mustGet(t, name)
+		if c.CompressorDelayGates() <= 0 || c.DecompressorDelayGates() <= 0 {
+			t.Fatalf("%s: non-positive gate delays", name)
+		}
+		if c.CompressorDelayGates() != c.CompressorDelayGates() ||
+			c.DecompressorDelayGates() != c.DecompressorDelayGates() {
+			t.Fatalf("%s: gate delay model is not deterministic", name)
+		}
+	}
+	p := mustGet(t, "paper")
+	if p.CompressorDelayGates() != CompressDelayGates || p.DecompressorDelayGates() != DecompressDelayGates {
+		t.Fatalf("paper delays (%d, %d) disagree with package constants (%d, %d)",
+			p.CompressorDelayGates(), p.DecompressorDelayGates(), CompressDelayGates, DecompressDelayGates)
+	}
+}
+
+// TestPaperSchemeMatchesLegacy pins the adapter to the free functions the
+// rest of the simulator calls: identical sizes on every value class.
+func TestPaperSchemeMatchesLegacy(t *testing.T) {
+	p := mustGet(t, "paper")
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		base := mach.Addr(rng.Intn(1<<16)) << 6
+		words := randomLine(rng, 1+rng.Intn(32), base)
+		if got, want := p.LineHalves(words, base), LineHalves(words, base); got != want {
+			t.Fatalf("paper adapter LineHalves=%d, legacy LineHalves=%d", got, want)
+		}
+		checkLine(t, p, words, base)
+	}
+}
+
+func TestKnownVectors(t *testing.T) {
+	base := mach.Addr(0x1000_0000)
+	zeros := make([]mach.Word, 16)
+	cases := []struct {
+		scheme string
+		words  []mach.Word
+		halves int
+	}{
+		// 16 zero words: paper 16x1 half; cpack 16x2 bits = 32 -> 2;
+		// fpc 8 chunks x 3 bits = 24 -> 2; bdi 4 bits -> 1.
+		{"paper", zeros, 16},
+		{"cpack", zeros, 2},
+		{"fpc", zeros, 2},
+		{"bdi", zeros, 1},
+		// A repeated incompressible word: cpack pays 34 bits once then
+		// 6 bits per full match (34 + 15*6 = 124 -> 8); bdi uses the
+		// repeat selector (4+32 = 36 -> 3); paper pays full freight.
+		{"paper", repeat(0xDEAD_BEEF, 16), 32},
+		{"cpack", repeat(0xDEAD_BEEF, 16), 8},
+		{"bdi", repeat(0xDEAD_BEEF, 16), 3},
+		// fpc: 16 words whose high halves are zero pair into 8 chunks of
+		// the two-halfword pattern: 8 x (3+32) = 280 bits -> 18 halves.
+		{"fpc", repeat(0x0000_BEEF, 16), 18},
+		// bdi base4-delta1: a shared high base with byte deltas:
+		// 4 + 32 + 16*(1+8) = 180 bits -> 12 halves.
+		{"bdi", deltas(0x4000_0100, 16), 12},
+	}
+	for _, tc := range cases {
+		c := mustGet(t, tc.scheme)
+		if got := c.LineHalves(tc.words, base); got != tc.halves {
+			t.Errorf("%s: LineHalves = %d, want %d", tc.scheme, got, tc.halves)
+		}
+		checkLine(t, c, tc.words, base)
+	}
+}
+
+func repeat(v mach.Word, n int) []mach.Word {
+	out := make([]mach.Word, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func deltas(base mach.Word, n int) []mach.Word {
+	out := make([]mach.Word, n)
+	for i := range out {
+		out[i] = base + mach.Word(i)
+	}
+	return out
+}
+
+// TestCPackDictionary pins the FIFO-dictionary semantics: a second
+// occurrence of a word is a 6-bit full match, a shared 3-byte prefix is a
+// 16-bit partial match.
+func TestCPackDictionary(t *testing.T) {
+	c := mustGet(t, "cpack")
+	full := []mach.Word{0xCAFE_BABE, 0xCAFE_BABE}
+	if got := c.LineHalves(full, 0); got != (34+6+15)/16 {
+		t.Fatalf("full match line = %d halves, want %d", got, (34+6+15)/16)
+	}
+	partial := []mach.Word{0xCAFE_BA00, 0xCAFE_BA42}
+	if got := c.LineHalves(partial, 0); got != (34+16+15)/16 {
+		t.Fatalf("partial match line = %d halves, want %d", got, (34+16+15)/16)
+	}
+	checkLine(t, c, full, 0)
+	checkLine(t, c, partial, 0)
+}
+
+// TestDecompressRejectsTruncation: a short image errors instead of
+// fabricating data or panicking.
+func TestDecompressRejectsTruncation(t *testing.T) {
+	base := mach.Addr(0x2000_0000)
+	words := []mach.Word{0xDEAD_BEEF, 0x1234_5678, 0x0BAD_F00D, 0xFEED_FACE}
+	for _, name := range Schemes() {
+		c := mustGet(t, name)
+		enc := c.CompressLine(words, base)
+		trunc := enc
+		trunc.NBits = enc.NBits / 2
+		trunc.Bits = enc.Bits[:(trunc.NBits+7)/8]
+		out := make([]mach.Word, len(words))
+		if err := c.DecompressLine(trunc, base, out); err == nil {
+			t.Errorf("%s: truncated image decoded without error", name)
+		}
+	}
+}
+
+// TestOddWordCounts exercises the tail-handling paths (fpc's zero-padded
+// chunk, bdi's skipped 8-byte modes) across every scheme.
+func TestOddWordCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, name := range Schemes() {
+		c := mustGet(t, name)
+		for _, n := range []int{1, 3, 5, 7, 15, 31} {
+			base := mach.Addr(rng.Intn(1<<14)) << 6
+			checkLine(t, c, randomLine(rng, n, base), base)
+		}
+	}
+}

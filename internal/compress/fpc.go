@@ -1,0 +1,173 @@
+package compress
+
+// FPC (Alameldeen & Wood, "Frequent Pattern Compression", and the
+// derivative model used by the disaggregated-memory simulators): the line
+// is carved into 64-bit chunks — two adjacent 32-bit words, low word
+// first — and each chunk gets a 3-bit prefix naming the first frequent
+// pattern it matches, followed by only the pattern's significant bits:
+//
+//	prefix 0  all-zero chunk                                  0 payload bits
+//	prefix 1  sign-/zero-compressed to the low byte           8
+//	prefix 2  compressed to the low 16 bits                  16
+//	prefix 3  compressed to the low 32 bits                  32
+//	prefix 4  low 32 bits zero (payload is the high word)    32
+//	prefix 5  two 32-bit halves, each with a zero high half  32
+//	prefix 6  no pattern, chunk emitted raw                  64
+//
+// A chunk matches mask m when v &^ m == 0, i.e. every bit outside the
+// mask is zero. Zero runs are not aggregated: each zero chunk costs its
+// own 3-bit prefix, which keeps the size function local and the encoder
+// stateless. A line with an odd word count pads the final chunk's high
+// word with zeros (and the decoder rejects an image that decodes nonzero
+// padding). Like C-Pack, FPC is value-only — the base address does not
+// influence the encoding.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cppcache/internal/mach"
+)
+
+const fpcPrefixBits = 3
+
+// fpcMasks are the pattern masks in match-priority order; a chunk's
+// payload is its bits at the mask's set positions, gathered LSB-first.
+var fpcMasks = [...]uint64{
+	0x0000_0000_0000_0000, // zero chunk
+	0x0000_0000_0000_00FF, // low byte
+	0x0000_0000_0000_FFFF, // low 16
+	0x0000_0000_FFFF_FFFF, // low word
+	0xFFFF_FFFF_0000_0000, // high word (low word zero)
+	0x0000_FFFF_0000_FFFF, // two halfwords, each zero-extended
+}
+
+const fpcRawPrefix = len(fpcMasks) // 6: uncompressed 64-bit chunk
+
+// fpcGather collects v's bits at the set positions of mask, LSB-first.
+func fpcGather(v, mask uint64) uint64 {
+	var out uint64
+	bit := 0
+	for m := mask; m != 0; m &= m - 1 {
+		out |= v >> uint(bits.TrailingZeros64(m)) & 1 << bit
+		bit++
+	}
+	return out
+}
+
+// fpcScatter is the inverse of fpcGather: it spreads p's low bits onto
+// the set positions of mask.
+func fpcScatter(p, mask uint64) uint64 {
+	var out uint64
+	bit := 0
+	for m := mask; m != 0; m &= m - 1 {
+		out |= p >> bit & 1 << uint(bits.TrailingZeros64(m))
+		bit++
+	}
+	return out
+}
+
+// fpcClassify returns the first matching prefix for a chunk.
+func fpcClassify(v uint64) int {
+	for i, m := range fpcMasks {
+		if v&^m == 0 {
+			return i
+		}
+	}
+	return fpcRawPrefix
+}
+
+// fpcChunkBits is the encoded size of a chunk under each prefix.
+func fpcChunkBits(prefix int) int {
+	if prefix == fpcRawPrefix {
+		return fpcPrefixBits + 64
+	}
+	return fpcPrefixBits + bits.OnesCount64(fpcMasks[prefix])
+}
+
+// fpcChunk assembles chunk c (two words, or one zero-padded word at an
+// odd tail) of the line.
+func fpcChunk(words []mach.Word, c int) uint64 {
+	v := uint64(words[2*c])
+	if 2*c+1 < len(words) {
+		v |= uint64(words[2*c+1]) << 32
+	}
+	return v
+}
+
+type fpcScheme struct{}
+
+func (fpcScheme) Name() string { return "fpc" }
+
+func (fpcScheme) LineHalves(words []mach.Word, _ mach.Addr) int {
+	total := 0
+	for c := 0; c < (len(words)+1)/2; c++ {
+		total += fpcChunkBits(fpcClassify(fpcChunk(words, c)))
+	}
+	return (total + 15) / 16
+}
+
+func (fpcScheme) WorstCaseHalves(nwords int) int {
+	return ((nwords+1)/2*(fpcPrefixBits+64) + 15) / 16
+}
+
+// Gate-delay model: the six mask comparisons are parallel 64-bit
+// zero-detect trees (6 levels) followed by a 3-level priority select —
+// ~9 levels. The decompressor decodes the 3-bit prefix and drives a
+// per-bit placement mux — ~5 levels.
+const (
+	fpcCompressDelayGates   = 9
+	fpcDecompressDelayGates = 5
+)
+
+func (fpcScheme) CompressorDelayGates() int   { return fpcCompressDelayGates }
+func (fpcScheme) DecompressorDelayGates() int { return fpcDecompressDelayGates }
+
+func (fpcScheme) CompressLine(words []mach.Word, _ mach.Addr) Encoded {
+	var bw bitWriter
+	for c := 0; c < (len(words)+1)/2; c++ {
+		v := fpcChunk(words, c)
+		prefix := fpcClassify(v)
+		bw.write(uint64(prefix), fpcPrefixBits)
+		if prefix == fpcRawPrefix {
+			bw.write(v, 64)
+		} else {
+			m := fpcMasks[prefix]
+			bw.write(fpcGather(v, m), bits.OnesCount64(m))
+		}
+	}
+	return bw.encoded()
+}
+
+func (fpcScheme) DecompressLine(enc Encoded, _ mach.Addr, out []mach.Word) error {
+	r := newBitReader(enc)
+	for c := 0; c < (len(out)+1)/2; c++ {
+		prefix, err := r.read(fpcPrefixBits)
+		if err != nil {
+			return err
+		}
+		var v uint64
+		switch {
+		case prefix == uint64(fpcRawPrefix):
+			if v, err = r.read(64); err != nil {
+				return err
+			}
+		case prefix < uint64(len(fpcMasks)):
+			m := fpcMasks[prefix]
+			p, err := r.read(bits.OnesCount64(m))
+			if err != nil {
+				return err
+			}
+			v = fpcScatter(p, m)
+		default:
+			return fmt.Errorf("compress: fpc reserved prefix %d at chunk %d", prefix, c)
+		}
+		out[2*c] = mach.Word(v)
+		if 2*c+1 < len(out) {
+			out[2*c+1] = mach.Word(v >> 32)
+		} else if v>>32 != 0 {
+			return fmt.Errorf("compress: fpc nonzero padding in odd tail chunk %d", c)
+		}
+	}
+	return nil
+}

@@ -31,6 +31,11 @@ type Config struct {
 	L1, L2          cache.Params
 	Lat             memsys.Latencies
 	CompressTraffic bool // BCC: count off-chip transfers compressed
+	// Comp selects the line-compression scheme used for compressed
+	// transfers (and the L2 compression tag metadata). nil means the
+	// paper's reference scheme; it only matters when CompressTraffic is
+	// set.
+	Comp compress.Compressor
 }
 
 // BaselineConfig returns the paper's BC configuration.
@@ -71,6 +76,7 @@ type Standard struct {
 	stats memsys.Stats
 	g1    mach.LineGeom
 	g2    mach.LineGeom
+	comp  compress.Compressor
 
 	// obs, when non-nil, receives structured events and fill-word
 	// compressibility counts; a nil recorder costs one branch per hook.
@@ -102,9 +108,18 @@ func NewStandard(cfg Config, m *mem.Memory) (*Standard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hier: L2: %w", err)
 	}
+	comp := cfg.Comp
+	if comp == nil {
+		comp = compress.Default()
+	}
+	if cfg.CompressTraffic {
+		// The scheme's per-line compressed size becomes L2 tag metadata,
+		// mirroring the hardware's compression-status bits.
+		l2.TrackCompression(comp)
+	}
 	return &Standard{
 		cfg: cfg, l1: l1, l2: l2, mem: m,
-		g1: l1.Geom(), g2: l2.Geom(),
+		g1: l1.Geom(), g2: l2.Geom(), comp: comp,
 		fetchBuf: make([]mach.Word, l2.Geom().Words()),
 	}, nil
 }
@@ -134,10 +149,10 @@ func (h *Standard) Occupancies() []memsys.Occupancy {
 }
 
 // lineHalves returns the bus cost of a line transfer in half-words,
-// honouring the configuration's compression setting.
+// honouring the configuration's compression setting and scheme.
 func (h *Standard) lineHalves(words []mach.Word, base mach.Addr) int64 {
 	if h.cfg.CompressTraffic {
-		return int64(compress.LineHalves(words, base))
+		return int64(h.comp.LineHalves(words, base))
 	}
 	return int64(2 * len(words))
 }
@@ -169,6 +184,7 @@ func (h *Standard) l2Writeback(ev cache.Evicted) {
 		off := h.g2.WordIndex(base)
 		copy(l2line.Data[off:off+len(ev.Data)], ev.Data)
 		l2line.Dirty = true
+		h.l2.RefreshMeta(l2line) // the merge changed the line's compressed size
 		return
 	}
 	h.memWriteback(base, ev.Data)

@@ -33,6 +33,7 @@ type LCC struct {
 	stats memsys.Stats
 	g1    mach.LineGeom
 	g2    mach.LineGeom
+	comp  compress.Compressor
 
 	// obs, when non-nil, receives fill-word compressibility counts and
 	// attribution events; a nil recorder costs one branch per hook.
@@ -58,13 +59,19 @@ func NewLCC(cfg Config, m *mem.Memory) (*LCC, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hier: LCC L2: %w", err)
 	}
+	comp := cfg.Comp
+	if comp == nil {
+		comp = compress.Default()
+	}
+	l2.TrackCompression(comp)
 	h := &LCC{
-		cfg: cfg,
-		l1:  newLCCArray(cfg.L1),
-		l2:  l2,
-		mem: m,
-		g1:  mach.LineGeom{LineBytes: cfg.L1.LineBytes},
-		g2:  mach.LineGeom{LineBytes: cfg.L2.LineBytes},
+		cfg:  cfg,
+		l1:   newLCCArray(cfg.L1, comp),
+		l2:   l2,
+		mem:  m,
+		g1:   mach.LineGeom{LineBytes: cfg.L1.LineBytes},
+		g2:   mach.LineGeom{LineBytes: cfg.L2.LineBytes},
+		comp: comp,
 	}
 	return h, nil
 }
@@ -104,13 +111,15 @@ type lccArray struct {
 	setMask mach.Addr
 	sets    [][]lccFrame
 	tick    uint64
+	comp    compress.Compressor
 }
 
-func newLCCArray(p cache.Params) *lccArray {
+func newLCCArray(p cache.Params, comp compress.Compressor) *lccArray {
 	a := &lccArray{
 		p:       p,
 		geom:    mach.LineGeom{LineBytes: p.LineBytes},
 		setMask: mach.Addr(p.Sets() - 1),
+		comp:    comp,
 	}
 	a.sets = make([][]lccFrame, p.Sets())
 	for i := range a.sets {
@@ -139,16 +148,19 @@ func (a *lccArray) find(n mach.Addr) *lccLine {
 	return nil
 }
 
-// lineCompressible reports whether every word of the line compresses.
-func lineCompressible(data []mach.Word, base mach.Addr) bool {
-	return compress.CountCompressible(data, base) == len(data)
+// lineCompressible reports whether the line fits a half frame under the
+// array's scheme: its compressed size is at most one half-word per word.
+// Under the paper's scheme this reduces to every word compressing, the
+// original all-or-nothing rule.
+func (a *lccArray) lineCompressible(data []mach.Word, base mach.Addr) bool {
+	return a.comp.LineHalves(data, base) <= len(data)
 }
 
 // install places line n, evicting as required by the sharing rule. It
 // returns the evicted lines (0..2) for write-back.
 func (a *lccArray) install(n mach.Addr, data []mach.Word, sharedCtr *int64) []lccLine {
 	base := a.geom.NumberToAddr(n)
-	comp := lineCompressible(data, base)
+	comp := a.lineCompressible(data, base)
 	set := a.sets[int(n&a.setMask)]
 
 	a.tick++
@@ -269,13 +281,22 @@ func (h *LCC) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int) {
 	if write {
 		l.data[w] = v
 		l.dirty = true
-		// A write that breaks full-line compressibility forces the line
-		// back to uncompressed form; its frame-mate is evicted (written
-		// back if dirty), exactly the all-or-nothing cost the paper
-		// contrasts CPP against.
-		if l.compressed && !compress.Compressible(v, a) {
-			l.compressed = false
-			h.evictFrameMate(n)
+		// A write that breaks the line's compressed fit forces it back
+		// to uncompressed form; its frame-mate is evicted (written back
+		// if dirty), exactly the all-or-nothing cost the paper contrasts
+		// CPP against. Word-capable schemes (the paper's) answer with an
+		// O(1) per-word check; line-granular schemes recompress the line.
+		if l.compressed {
+			still := false
+			if wc, ok := h.comp.(compress.WordCompressor); ok {
+				still = wc.CompressibleWord(v, a)
+			} else {
+				still = h.l1.lineCompressible(l.data, h.g1.NumberToAddr(l.tag))
+			}
+			if !still {
+				l.compressed = false
+				h.evictFrameMate(n)
+			}
 		}
 		return 0, lat
 	}
@@ -314,14 +335,14 @@ func (h *LCC) fetch(n mach.Addr) int {
 		data := make([]mach.Word, h.g2.Words())
 		l2base := h.g2.LineAddr(base)
 		h.mem.ReadLine(l2base, data)
-		h.stats.MemReadHalves += int64(compress.LineHalves(data, l2base))
+		h.stats.MemReadHalves += int64(h.comp.LineHalves(data, l2base))
 		if h.obs != nil {
 			h.obs.FillLine(data, l2base)
 		}
 		if ev := h.l2.Fill(base, data); ev.Valid && ev.Dirty {
 			evBase := h.g2.NumberToAddr(ev.Tag)
 			h.mem.WriteLine(evBase, ev.Data)
-			h.stats.MemWriteHalves += int64(compress.LineHalves(ev.Data, evBase))
+			h.stats.MemWriteHalves += int64(h.comp.LineHalves(ev.Data, evBase))
 			h.stats.L2.Writebacks++
 		}
 		l2line = h.l2.Probe(base)
@@ -345,10 +366,11 @@ func (h *LCC) writeback(l lccLine) {
 		off := h.g2.WordIndex(base)
 		copy(l2line.Data[off:off+len(l.data)], l.data)
 		l2line.Dirty = true
+		h.l2.RefreshMeta(l2line)
 		return
 	}
 	h.mem.WriteLine(base, l.data)
-	h.stats.MemWriteHalves += int64(compress.LineHalves(l.data, base))
+	h.stats.MemWriteHalves += int64(h.comp.LineHalves(l.data, base))
 }
 
 // Read implements memsys.System.
@@ -363,6 +385,39 @@ func (h *LCC) Write(a mach.Addr, v mach.Word) int {
 // SharedResidencies returns how many fills co-resided with a frame-mate
 // (the LCC capacity benefit; stored in the AffWordsPrefetchedL1 counter).
 func (h *LCC) SharedResidencies() int64 { return h.stats.AffWordsPrefetchedL1 }
+
+// Occupancies implements memsys.Inspector. The L1 is reported in slot
+// units — each physical frame offers two slots, each able to hold one
+// compressed line (one half-word per word); an uncompressed line consumes
+// both slots' half-word budget. The sharing rule makes Halves <= HalfCap
+// an exact physical bound. The L1's CompHalves stays 0: its compression
+// state is the all-or-nothing bit, not a per-line size. The L2 carries
+// full tag metadata via cache.TrackCompression.
+func (h *LCC) Occupancies() []memsys.Occupancy {
+	w := h.g1.Words()
+	o := memsys.Occupancy{
+		Level:   "L1",
+		LineCap: 2 * h.l1.p.Sets() * h.l1.p.Assoc,
+		HalfCap: 2 * w * h.l1.p.Sets() * h.l1.p.Assoc,
+	}
+	for si := range h.l1.sets {
+		for f := range h.l1.sets[si] {
+			for s := range h.l1.sets[si][f].lines {
+				l := &h.l1.sets[si][f].lines[s]
+				if !l.valid {
+					continue
+				}
+				o.Lines++
+				if l.compressed {
+					o.Halves += w
+				} else {
+					o.Halves += 2 * w
+				}
+			}
+		}
+	}
+	return []memsys.Occupancy{o, h.l2.Occupancy("L2")}
+}
 
 // Drain flushes every dirty line to memory (diagnostic).
 func (h *LCC) Drain() {

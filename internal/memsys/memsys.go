@@ -112,6 +112,12 @@ type Occupancy struct {
 	LineCap int    // physical frames
 	Halves  int    // half-words of data stored (compressed words count 1)
 	HalfCap int    // physical half-word capacity
+	// CompHalves is the compressed footprint of the resident data under
+	// the hierarchy's line-compression scheme, when the cache tracks one
+	// in its tag metadata (0 otherwise). It may legitimately exceed
+	// Halves for schemes whose worst case expands the line; verify bounds
+	// it by the scheme's declared worst case instead.
+	CompHalves int
 }
 
 // Inspector is implemented by hierarchies that can report their physical

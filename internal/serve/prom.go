@@ -80,8 +80,9 @@ func writeMetrics(w *strings.Builder, runs []*Run, c Counters) {
 		byState[st.State]++
 		intervals = append(intervals, st.Intervals)
 		samples = append(samples, sample{
-			labels: fmt.Sprintf(`run="%d",workload=%q,config=%q`,
-				r.ID, escapeLabel(r.Spec.Workload), escapeLabel(r.Spec.Config)),
+			labels: fmt.Sprintf(`run="%d",workload=%q,config=%q,compressor=%q`,
+				r.ID, escapeLabel(r.Spec.Workload), escapeLabel(r.Spec.Config),
+				escapeLabel(r.Spec.Compressor)),
 			totals: st.Totals,
 		})
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +22,10 @@ type RunSpec struct {
 	Workload string `json:"workload"`
 	// Config is a cache configuration (BC, BCC, HAC, BCP, CPP, VC, LCC).
 	Config string `json:"config"`
+	// Compressor selects the line-compression scheme for configurations
+	// that compress bus transfers (BCC, LCC). "" means the paper's
+	// scheme; normalize canonicalises it to an explicit name.
+	Compressor string `json:"compressor,omitempty"`
 	// Scale multiplies the workload's compute phase (0 = default).
 	Scale int `json:"scale,omitempty"`
 	// Functional skips the pipeline model (faster; no cycle counts).
@@ -272,6 +277,15 @@ func (g *Registry) normalize(spec RunSpec) (RunSpec, error) {
 		return spec, specErrorf("config", "unknown configuration %q", spec.Config)
 	}
 	spec.Config = string(cfg)
+	scheme, ok := cppcache.KnownCompressor(spec.Compressor)
+	if !ok {
+		return spec, specErrorf("compressor", "unknown compression scheme %q (known: %s)",
+			spec.Compressor, strings.Join(cppcache.Compressors(), ", "))
+	}
+	if err := cppcache.ValidateCompressor(cfg, scheme); err != nil {
+		return spec, specErrorf("compressor", "%v", err)
+	}
+	spec.Compressor = scheme
 	if spec.Scale < 0 || spec.Scale > MaxScale {
 		return spec, specErrorf("scale", "scale must be in [0, %d], got %d", MaxScale, spec.Scale)
 	}
@@ -361,7 +375,8 @@ func (g *Registry) startLocked(run *Run) bool {
 	g.running++
 	g.pending.Add(1)
 	g.log.Info("run launched", "run", run.ID, "workload", run.Spec.Workload,
-		"config", run.Spec.Config, "functional", run.Spec.Functional,
+		"config", run.Spec.Config, "compressor", run.Spec.Compressor,
+		"functional", run.Spec.Functional,
 		"interval", run.Spec.Interval, "attr", run.Spec.Attr,
 		"timeout_sec", run.Spec.TimeoutSec, "chaos", run.Spec.Chaos != nil)
 	go g.execute(run, ctx, cancel)
@@ -407,6 +422,7 @@ func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelF
 			Scale:            spec.Scale,
 			HalveMissPenalty: spec.Halved,
 			FunctionalOnly:   spec.Functional,
+			Compressor:       spec.Compressor,
 		}, oo)
 	switch {
 	case err == nil:

@@ -219,6 +219,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, collapsed)
 		return
 	}
+	fmt.Fprintf(w, "# run %d: %s on %s (compressor %s)\n",
+		run.ID, run.Spec.Workload, run.Spec.Config, run.Spec.Compressor)
 	fmt.Fprint(w, text)
 }
 

@@ -121,7 +121,7 @@ func TestMetricsMatchRunTotals(t *testing.T) {
 	}
 	metrics := parseExposition(t, readAll(t, resp))
 
-	labels := fmt.Sprintf(`{run="%d",workload="olden.mst",config="CPP"}`, st.ID)
+	labels := fmt.Sprintf(`{run="%d",workload="olden.mst",config="CPP",compressor="paper"}`, st.ID)
 	want := map[string]int64{
 		"cppsim_l1_accesses_total":     final.Totals.L1Accesses,
 		"cppsim_l1_misses_total":       final.Totals.L1Misses,
@@ -291,6 +291,9 @@ func TestLaunchValidation(t *testing.T) {
 		{`{}`, http.StatusBadRequest},                                        // workload required
 		{`{"workload":"nope"}`, http.StatusBadRequest},                       // unknown workload
 		{`{"workload":"treeadd","config":"ZZZ"}`, http.StatusBadRequest},     // unknown config
+		{`{"workload":"treeadd","config":"BCC","compressor":"fpc","functional":true}`, http.StatusCreated},
+		{`{"workload":"treeadd","config":"BCC","compressor":"zzz"}`, http.StatusBadRequest}, // unknown scheme
+		{`{"workload":"treeadd","config":"CPP","compressor":"fpc"}`, http.StatusBadRequest}, // scheme on CPP
 		{`{"workload":"treeadd","scale":-1}`, http.StatusBadRequest},         // bad scale
 		{`{"workload":"treeadd","scale":99999}`, http.StatusBadRequest},      // absurd scale
 		{`{"workload":"treeadd","interval":-5}`, http.StatusBadRequest},      // bad interval
@@ -313,10 +316,12 @@ func TestLaunchValidation(t *testing.T) {
 
 	// Spec violations carry a structured body naming the offending field.
 	fields := map[string]string{
-		`{"workload":"treeadd","scale":-1}`:       "scale",
-		`{"workload":"treeadd","timeout_sec":-1}`: "timeout_sec",
-		`{"workload":"treeadd","interval":-5}`:    "interval",
-		`{}`:                                      "workload",
+		`{"workload":"treeadd","scale":-1}`:                        "scale",
+		`{"workload":"treeadd","timeout_sec":-1}`:                  "timeout_sec",
+		`{"workload":"treeadd","interval":-5}`:                     "interval",
+		`{}`:                                                       "workload",
+		`{"workload":"treeadd","config":"BCC","compressor":"zzz"}`: "compressor",
+		`{"workload":"treeadd","config":"BC","compressor":"bdi"}`:  "compressor",
 	}
 	for spec, field := range fields {
 		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(spec))
@@ -331,6 +336,52 @@ func TestLaunchValidation(t *testing.T) {
 		if se.Field != field || se.Msg == "" {
 			t.Errorf("POST %s: error body %+v, want field %q", spec, se, field)
 		}
+	}
+}
+
+// TestCompressorSpecRoundtrip pins the compressor axis through the API:
+// the default spec canonicalises to the paper's scheme, a zoo scheme on a
+// compressing config runs to completion, and the selection reaches the
+// result and the Prometheus labels.
+func TestCompressorSpecRoundtrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	st := launch(t, ts, `{"workload":"mst","config":"BCC","functional":true,"scale":1}`)
+	if st.Spec.Compressor != "paper" {
+		t.Errorf("default spec compressor = %q, want canonical \"paper\"", st.Spec.Compressor)
+	}
+	st2 := launch(t, ts, `{"workload":"mst","config":"BCC","compressor":"FPC","functional":true,"scale":1}`)
+	if st2.Spec.Compressor != "fpc" {
+		t.Errorf("spec compressor = %q, want lower-cased \"fpc\"", st2.Spec.Compressor)
+	}
+	final := waitDone(t, ts, st2.ID)
+	if final.State != StateDone {
+		t.Fatalf("BCC@fpc run: state %s (err %q)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Compressor != "fpc" || string(final.Result.Config) != "BCC" {
+		t.Fatalf("BCC@fpc result = %+v, want Config BCC, Compressor fpc", final.Result)
+	}
+	base := waitDone(t, ts, st.ID)
+	if base.Result == nil || base.Result.Compressor != "paper" {
+		t.Fatalf("default BCC result = %+v, want Compressor paper", base.Result)
+	}
+	// The schemes share miss behaviour; fpc must move different (here:
+	// less) traffic on the same workload.
+	if final.Result.L2Misses != base.Result.L2Misses {
+		t.Errorf("L2 misses differ across schemes: %d vs %d", final.Result.L2Misses, base.Result.L2Misses)
+	}
+	if final.Result.MemTrafficWords >= base.Result.MemTrafficWords {
+		t.Errorf("fpc traffic %v not below paper traffic %v",
+			final.Result.MemTrafficWords, base.Result.MemTrafficWords)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	needle := fmt.Sprintf(`run="%d",workload="olden.mst",config="BCC",compressor="fpc"`, st2.ID)
+	if !strings.Contains(body, needle) {
+		t.Errorf("metrics exposition missing per-scheme labels %s", needle)
 	}
 }
 

@@ -28,9 +28,15 @@ func Configs() []string { return []string{"BC", "BCC", "HAC", "BCP", "CPP"} }
 func ExtraConfigs() []string { return []string{"VC", "LCC"} }
 
 // NewSystem builds the named cache hierarchy over main memory m with the
-// given latencies.
+// given latencies. A config name may carry an "@scheme" suffix selecting
+// the line-compression scheme (see compressor.go); the built system's
+// Name() preserves the suffix.
 func NewSystem(name string, m *mem.Memory, lat memsys.Latencies) (memsys.System, error) {
-	switch name {
+	base, canonical, comp, err := resolveConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	switch base {
 	case "BC":
 		cfg := hier.BaselineConfig()
 		cfg.Lat = lat
@@ -38,6 +44,8 @@ func NewSystem(name string, m *mem.Memory, lat memsys.Latencies) (memsys.System,
 	case "BCC":
 		cfg := hier.CompressedConfig()
 		cfg.Lat = lat
+		cfg.Name = canonical
+		cfg.Comp = comp
 		return hier.NewStandard(cfg, m)
 	case "HAC":
 		cfg := hier.HighAssocConfig()
@@ -58,10 +66,12 @@ func NewSystem(name string, m *mem.Memory, lat memsys.Latencies) (memsys.System,
 	case "LCC":
 		cfg := hier.LCCConfig()
 		cfg.Lat = lat
+		cfg.Name = canonical
+		cfg.Comp = comp
 		return hier.NewLCC(cfg, m)
 	default:
 		return nil, fmt.Errorf("sim: unknown configuration %q (known: %v)",
-			name, append(Configs(), ExtraConfigs()...))
+			base, append(Configs(), ExtraConfigs()...))
 	}
 }
 

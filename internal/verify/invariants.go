@@ -32,6 +32,34 @@ func Invariants() []string {
 	}
 }
 
+// CheckLineRoundtrip asserts the whole-line contract of one registered
+// Compressor on one line image: the size function matches the emitted
+// half-words, the declared worst case bounds it, and decompression is
+// byte-identical to the input. It is the line-granular counterpart of
+// CheckRoundtrip, run for whichever scheme backs the system under check.
+func CheckLineRoundtrip(c compress.Compressor, words []mach.Word, base mach.Addr) error {
+	enc := c.CompressLine(words, base)
+	if h := c.LineHalves(words, base); h != enc.Halves() {
+		return fmt.Errorf("%s: %s: LineHalves=%d but image is %d halves for %d words at %#x",
+			InvCompressRoundtrip, c.Name(), h, enc.Halves(), len(words), base)
+	}
+	if w := c.WorstCaseHalves(len(words)); enc.Halves() > w {
+		return fmt.Errorf("%s: %s: %d halves exceeds declared worst case %d for %d words",
+			InvCompressRoundtrip, c.Name(), enc.Halves(), w, len(words))
+	}
+	out := make([]mach.Word, len(words))
+	if err := c.DecompressLine(enc, base, out); err != nil {
+		return fmt.Errorf("%s: %s: decompress: %w", InvCompressRoundtrip, c.Name(), err)
+	}
+	for i := range out {
+		if out[i] != words[i] {
+			return fmt.Errorf("%s: %s: word %d of line at %#x roundtrips %#x -> %#x",
+				InvCompressRoundtrip, c.Name(), i, base, words[i], out[i])
+		}
+	}
+	return nil
+}
+
 // CheckRoundtrip asserts compress->decompress identity for one (value,
 // address) pair using the given codec; comp and decomp default to the
 // production compress package when nil. The indirection lets the
@@ -113,6 +141,33 @@ func CheckOccupancy(occs []memsys.Occupancy) error {
 		if o.Halves < 0 || o.Halves > o.HalfCap {
 			return fmt.Errorf("%s: %s stores %d half-words, capacity %d", InvOccupancy, o.Level, o.Halves, o.HalfCap)
 		}
+		if o.CompHalves < 0 {
+			return fmt.Errorf("%s: %s reports negative compressed footprint %d", InvOccupancy, o.Level, o.CompHalves)
+		}
+	}
+	return nil
+}
+
+// CheckOccupancyComp is CheckOccupancy plus the scheme-aware bound on the
+// compression tag metadata: a structure tracking compressed sizes may
+// never report more than its scheme's worst case for the lines it holds.
+// comp nil skips the scheme bound.
+func CheckOccupancyComp(occs []memsys.Occupancy, comp compress.Compressor) error {
+	if err := CheckOccupancy(occs); err != nil {
+		return err
+	}
+	if comp == nil {
+		return nil
+	}
+	for _, o := range occs {
+		if o.CompHalves == 0 || o.LineCap <= 0 {
+			continue // untracked structure
+		}
+		words := o.HalfCap / o.LineCap / 2
+		if max := o.Lines * comp.WorstCaseHalves(words); o.CompHalves > max {
+			return fmt.Errorf("%s: %s compressed footprint %d halves exceeds %s worst case %d for %d lines",
+				InvOccupancy, o.Level, o.CompHalves, comp.Name(), max, o.Lines)
+		}
 	}
 	return nil
 }
@@ -184,18 +239,26 @@ func CheckStructural(sys memsys.System) error {
 
 // CheckTraffic asserts the off-chip bus accounting rules each
 // configuration must obey. wordsL2 is the L2 line size in words (derived
-// from the occupancy report); configurations outside the paper's five are
-// skipped.
+// from the occupancy report). The config name may carry an "@scheme"
+// suffix (see sim.SplitConfig): the compressed-bus bounds then widen to
+// that scheme's envelope — any line may compress to as little as one
+// half-word total (an all-zero BDI line) or expand to the scheme's
+// declared worst case. Configurations outside the known set are skipped.
 func CheckTraffic(config string, st *memsys.Stats, wordsL2 int) error {
 	if wordsL2 <= 0 {
 		return nil
+	}
+	base, scheme := splitConfigName(config)
+	comp, err := compress.Get(scheme)
+	if err != nil {
+		return nil // unqualified scheme name; nothing to assert
 	}
 	lineHalves := int64(2 * wordsL2)
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("%s: %s: %s", InvTrafficAccounting, config, fmt.Sprintf(format, args...))
 	}
-	switch config {
-	case "BC", "BCC", "HAC", "BCP", "CPP":
+	switch base {
+	case "BC", "BCC", "HAC", "BCP", "CPP", "LCC":
 		// Every demand L1 miss probes the L2 exactly once, and nothing
 		// else does.
 		if st.L2.Accesses != st.L1.Misses {
@@ -205,7 +268,7 @@ func CheckTraffic(config string, st *memsys.Stats, wordsL2 int) error {
 		return nil
 	}
 	reads, misses := st.MemReadHalves, st.L2.Misses
-	switch config {
+	switch base {
 	case "BC", "HAC":
 		// Uncompressed bus: each L2 miss moves exactly one full line in.
 		if reads != lineHalves*misses {
@@ -221,10 +284,16 @@ func CheckTraffic(config string, st *memsys.Stats, wordsL2 int) error {
 		if max := lineHalves * st.L2.Writebacks; st.MemWriteHalves > max {
 			return fail("write halves %d > uncompressed bound %d", st.MemWriteHalves, max)
 		}
-	case "BCC":
-		// Compressed bus: at least one, at most two halves per word.
-		if min, max := int64(wordsL2)*misses, lineHalves*misses; reads < min || reads > max {
-			return fail("read halves %d outside compressed bounds [%d, %d]", reads, min, max)
+	case "BCC", "LCC":
+		// Compressed bus. The paper's scheme moves one or two halves per
+		// word; other schemes are bounded by [1 half, worst case] per
+		// line fetched.
+		min, max := int64(wordsL2)*misses, lineHalves*misses
+		if comp.Name() != compress.Default().Name() {
+			min, max = misses, int64(comp.WorstCaseHalves(wordsL2))*misses
+		}
+		if reads < min || reads > max {
+			return fail("read halves %d outside %s compressed bounds [%d, %d]", reads, comp.Name(), min, max)
 		}
 	case "BCP":
 		// Demand fills plus speculative prefetches, all whole
@@ -237,6 +306,17 @@ func CheckTraffic(config string, st *memsys.Stats, wordsL2 int) error {
 		}
 	}
 	return nil
+}
+
+// splitConfigName mirrors sim.SplitConfig without importing sim (this
+// file sits below it in the dependency order for CheckTraffic's callers).
+func splitConfigName(name string) (base, scheme string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '@' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return name, ""
 }
 
 // drainer is implemented by every hierarchy that can flush its dirty state

@@ -1,0 +1,254 @@
+package verify
+
+// The differential-test battery parameterized over the compressor zoo:
+// every registered scheme runs the full oracle/invariant harness clean on
+// the configurations that accept it (BCC and LCC), and each fault class
+// is re-injected per scheme to prove the checkers stay sharp when the
+// codec changes underneath them. The CPP-specific invariants (affiliated
+// mirrors, structural half-slot rules) are exercised in
+// invariants_test.go only: CPP is architecturally tied to the paper's
+// per-word codec, so there is nothing scheme-shaped to parameterize.
+
+import (
+	"strings"
+	"testing"
+
+	"cppcache/internal/compress"
+	"cppcache/internal/mach"
+	"cppcache/internal/memsys"
+	"cppcache/internal/sim"
+)
+
+// schemeConfigs enumerates every (config, scheme) pair the simulator
+// accepts: each compressing config crossed with each registered scheme.
+func schemeConfigs() []string {
+	var out []string
+	for _, config := range sim.CompressorConfigs() {
+		for _, scheme := range compress.Schemes() {
+			out = append(out, sim.WithCompressor(config, scheme))
+		}
+	}
+	return out
+}
+
+// nonDefaultSchemes returns the registered schemes other than the paper's.
+func nonDefaultSchemes() []string {
+	var out []string
+	for _, s := range compress.Schemes() {
+		if s != compress.Default().Name() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestCheckConfigCleanPerScheme runs the whole harness — oracle loads,
+// line roundtrips through the live codec, occupancy/tag-metadata bounds,
+// scheme-aware traffic envelopes, drain conservation — clean on every
+// accepted config x scheme pair.
+func TestCheckConfigCleanPerScheme(t *testing.T) {
+	for _, config := range schemeConfigs() {
+		config := config
+		t.Run(config, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range Seeds(100, 2) {
+				d, err := CheckConfig(config, RandomStream(seed, 2000), Options{DeepEvery: 64})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != nil {
+					t.Fatalf("seed %d: %v", seed, d)
+				}
+			}
+		})
+	}
+}
+
+// TestSchemeRejectedConfigs pins the validation matrix: non-default
+// schemes are refused by CPP (wedded to the per-word VC-flag codec) and
+// by the configurations that never compress transfers.
+func TestSchemeRejectedConfigs(t *testing.T) {
+	for _, scheme := range nonDefaultSchemes() {
+		for _, config := range []string{"CPP", "BC", "HAC", "BCP", "VC"} {
+			if err := sim.ValidateCompressor(config, scheme); err == nil {
+				t.Errorf("%s@%s accepted, want rejection", config, scheme)
+			}
+			if _, err := CheckConfig(config+"@"+scheme, RandomStream(1, 10), Options{}); err == nil {
+				t.Errorf("CheckConfig(%s@%s) accepted, want error", config, scheme)
+			}
+		}
+		// And the accepting side of the matrix, for contrast.
+		for _, config := range sim.CompressorConfigs() {
+			if err := sim.ValidateCompressor(config, scheme); err != nil {
+				t.Errorf("%s@%s rejected: %v", config, scheme, err)
+			}
+		}
+	}
+	if _, err := CheckConfig("BCC@nonesuch", RandomStream(1, 10), Options{}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestOracleValueCatchesWrongLoadPerScheme re-injects the wrong-load
+// fault under every scheme-qualified config.
+func TestOracleValueCatchesWrongLoadPerScheme(t *testing.T) {
+	for _, config := range schemeConfigs() {
+		sys, m := mustSystem(t, config)
+		wrapped := &flipSystem{System: sys, n: 40}
+		d := Check(wrapped, m, RandomStream(5, 1000), Options{})
+		requireDivergence(t, d, InvOracleValue)
+	}
+}
+
+// TestMonotonicCatchesRollbackPerScheme re-injects the counter-rollback
+// fault under every scheme-qualified config.
+func TestMonotonicCatchesRollbackPerScheme(t *testing.T) {
+	for _, config := range schemeConfigs() {
+		sys, m := mustSystem(t, config)
+		opt := Options{Hook: func(step int, s memsys.System) {
+			if step == 200 {
+				s.Stats().L1.Accesses -= 10
+			}
+		}}
+		d := Check(sys, m, RandomStream(6, 1000), opt)
+		requireDivergence(t, d, InvStatsMonotonic)
+	}
+}
+
+// TestTrafficCatchesSkewedBusCounterPerScheme skews the bus counter far
+// past any scheme's worst-case envelope and demands the (widened,
+// scheme-aware) traffic rule still fires.
+func TestTrafficCatchesSkewedBusCounterPerScheme(t *testing.T) {
+	for _, config := range schemeConfigs() {
+		sys, m := mustSystem(t, config)
+		opt := Options{DeepEvery: 16, Hook: func(step int, s memsys.System) {
+			if step == 300 {
+				// Far beyond WorstCaseHalves(words) x misses for any scheme.
+				s.Stats().MemReadHalves += 1 << 40
+			}
+		}}
+		d := Check(sys, m, RandomStream(4, 1000), opt)
+		requireDivergence(t, d, InvTrafficAccounting)
+	}
+}
+
+// TestDrainConservationCatchesLostWritePerScheme re-injects the
+// swallowed-write fault under every scheme-qualified config.
+func TestDrainConservationCatchesLostWritePerScheme(t *testing.T) {
+	for _, config := range schemeConfigs() {
+		sys, m := mustSystem(t, config)
+		wrapped := &dropWriteSystem{System: sys, n: 12}
+		s := &Stream{Name: "distinct-writes"}
+		for i := 0; i < 64; i++ {
+			s.Ops = append(s.Ops, Op{Write: true, Addr: mach.Addr(0x2000_0000 + i*4), Val: mach.Word(100 + i)})
+		}
+		d := Check(wrapped, m, s, Options{})
+		requireDivergence(t, d, InvDrainConservation)
+	}
+}
+
+// lossyScheme wraps a real Compressor with a decompressor that flips one
+// bit — the fault CheckLineRoundtrip exists to catch.
+type lossyScheme struct{ compress.Compressor }
+
+func (l lossyScheme) DecompressLine(enc compress.Encoded, base mach.Addr, out []mach.Word) error {
+	if err := l.Compressor.DecompressLine(enc, base, out); err != nil {
+		return err
+	}
+	if len(out) > 0 {
+		out[0] ^= 1
+	}
+	return nil
+}
+
+// sizeLyingScheme wraps a real Compressor with a size function that
+// disagrees with the emitted image.
+type sizeLyingScheme struct{ compress.Compressor }
+
+func (s sizeLyingScheme) LineHalves(words []mach.Word, base mach.Addr) int {
+	return s.Compressor.LineHalves(words, base) + 1
+}
+
+// TestLineRoundtripCatchesBrokenCodecPerScheme feeds each registered
+// scheme, wrapped to be lossy or to misreport its size, through the
+// line-level differential oracle.
+func TestLineRoundtripCatchesBrokenCodecPerScheme(t *testing.T) {
+	words := []mach.Word{0, 1, 0xDEAD_BEEF, 0x1000_0040, 42, 42, 0xFFFF_FFFF, 7}
+	base := mach.Addr(0x1000_0040)
+	for _, scheme := range compress.Schemes() {
+		c, err := compress.Get(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckLineRoundtrip(c, words, base); err != nil {
+			t.Fatalf("%s: clean codec flagged: %v", scheme, err)
+		}
+		if err := CheckLineRoundtrip(lossyScheme{c}, words, base); err == nil {
+			t.Errorf("%s: lossy decompressor not detected", scheme)
+		} else if !strings.Contains(err.Error(), InvCompressRoundtrip) {
+			t.Errorf("%s: wrong invariant name in %v", scheme, err)
+		}
+		if err := CheckLineRoundtrip(sizeLyingScheme{c}, words, base); err == nil {
+			t.Errorf("%s: size misreport not detected", scheme)
+		}
+	}
+}
+
+// TestOccupancyCompCatchesMetadataOverrun drives the tag-metadata bound
+// directly for each scheme: a CompHalves total past Lines x worst case is
+// unreachable for a correct hierarchy and must be flagged.
+func TestOccupancyCompCatchesMetadataOverrun(t *testing.T) {
+	for _, scheme := range compress.Schemes() {
+		c, err := compress.Get(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const lines, words = 10, 32
+		ok := []memsys.Occupancy{{
+			Level: "L2", Lines: lines, LineCap: 128,
+			Halves: lines * 2 * words, HalfCap: 128 * 2 * words,
+			CompHalves: lines * c.WorstCaseHalves(words),
+		}}
+		if err := CheckOccupancyComp(ok, c); err != nil {
+			t.Fatalf("%s: in-bounds metadata flagged: %v", scheme, err)
+		}
+		over := []memsys.Occupancy{{
+			Level: "L2", Lines: lines, LineCap: 128,
+			Halves: lines * 2 * words, HalfCap: 128 * 2 * words,
+			CompHalves: lines*c.WorstCaseHalves(words) + 1,
+		}}
+		if err := CheckOccupancyComp(over, c); err == nil {
+			t.Errorf("%s: metadata overrun not detected", scheme)
+		}
+		negative := []memsys.Occupancy{{Level: "L2", LineCap: 1, HalfCap: 64, CompHalves: -1}}
+		if err := CheckOccupancyComp(negative, c); err == nil {
+			t.Errorf("%s: negative CompHalves not detected", scheme)
+		}
+	}
+}
+
+// TestWorkloadStreamsPerScheme runs the workload-derived streams (not
+// just random ones) through the harness for each non-default scheme on
+// BCC, the configuration the paper's traffic studies use.
+func TestWorkloadStreamsPerScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload streams are slow")
+	}
+	for _, scheme := range nonDefaultSchemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			s, err := WorkloadStream("olden.mst", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := CheckConfig(sim.WithCompressor("BCC", scheme), s, Options{DeepEvery: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != nil {
+				t.Fatal(d)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"cppcache/internal/compress"
+	"cppcache/internal/mach"
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
 	"cppcache/internal/sim"
@@ -68,9 +70,21 @@ func Check(sys memsys.System, m *mem.Memory, s *Stream, opt Options) *Divergence
 	}
 	prev := *sys.Stats()
 
+	// Resolve the hierarchy's compression scheme from its self-describing
+	// name ("BCC@fpc" -> fpc); unqualified names resolve to the paper's
+	// default. The scheme parameterizes the deep-scan invariants: tag
+	// metadata bounds and a line-level roundtrip through the live codec.
+	_, scheme := sim.SplitConfig(sys.Name())
+	comp, compErr := compress.Get(scheme)
+	if compErr != nil {
+		comp = nil // exotic name; skip the scheme-parameterized checks
+	}
+	var lastAddr mach.Addr
+	haveAddr := false
+
 	deep := func(step int) *Divergence {
 		if insp, ok := sys.(memsys.Inspector); ok {
-			if err := CheckOccupancy(insp.Occupancies()); err != nil {
+			if err := CheckOccupancyComp(insp.Occupancies(), comp); err != nil {
 				return diverge(step, InvOccupancy, err.Error())
 			}
 			if err := CheckTraffic(sys.Name(), sys.Stats(), l2Words(insp)); err != nil {
@@ -85,11 +99,24 @@ func Check(sys memsys.System, m *mem.Memory, s *Stream, opt Options) *Divergence
 				return diverge(step, InvAffMirror, err.Error())
 			}
 		}
+		if comp != nil && haveAddr {
+			// Differential oracle at line granularity: pull the 64-byte
+			// memory line around the latest access through the scheme's
+			// full compress/decompress path and demand identity.
+			g := mach.LineGeom{LineBytes: 64}
+			base := g.LineAddr(lastAddr)
+			buf := make([]mach.Word, g.Words())
+			m.ReadLine(base, buf)
+			if err := CheckLineRoundtrip(comp, buf, base); err != nil {
+				return diverge(step, InvCompressRoundtrip, err.Error())
+			}
+		}
 		return nil
 	}
 
 	for i, op := range s.Ops {
 		val := op.Val
+		lastAddr, haveAddr = op.Addr, true
 		if op.Write {
 			sys.Write(op.Addr, op.Val)
 			o.Write(op.Addr, op.Val)
