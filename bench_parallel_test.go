@@ -1,0 +1,126 @@
+package cppcache
+
+// Benchmarks for the simulator-throughput work: the shared trace
+// pre-decode (struct-of-arrays replay vs generic stream iteration) and
+// the work-stealing run scheduler's scaling. cmd/cppbench -benchjson
+// emits the same measurements machine-readably (predecode and parallel
+// sections of BENCH_simperf.json).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cppcache/internal/sched"
+	"cppcache/internal/trace"
+	"cppcache/internal/workload"
+)
+
+// BenchmarkTraceDecode measures building the pre-decoded representation
+// itself — paid once per workload x scale and amortised across every run
+// that replays it.
+func BenchmarkTraceDecode(b *testing.B) {
+	b.ReportAllocs()
+	p, err := workload.BuildShared("olden.health", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := p.Insts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := trace.NewDecoded(insts)
+		if d.Len() != len(insts) {
+			b.Fatal("decode length mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(insts)), "insts")
+}
+
+// BenchmarkReplayStream iterates the generic isa.Stream path the
+// simulator fetched from before the pre-decode fast path existed.
+func BenchmarkReplayStream(b *testing.B) {
+	b.ReportAllocs()
+	p, err := workload.BuildShared("olden.health", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		st := p.Stream()
+		for {
+			in, ok := st.Next()
+			if !ok {
+				break
+			}
+			sink += uint64(in.Addr) + uint64(in.Op)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("degenerate trace")
+	}
+	b.ReportMetric(float64(p.Len()), "insts/op")
+}
+
+// BenchmarkReplayPredecoded scans the shared struct-of-arrays columns the
+// CPU's fast path fetches from, over the same trace as
+// BenchmarkReplayStream.
+func BenchmarkReplayPredecoded(b *testing.B) {
+	b.ReportAllocs()
+	p, err := workload.BuildShared("olden.health", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := p.Decoded()
+	ops, addrs := d.Ops(), d.Addrs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			sink += uint64(addrs[j]) + uint64(ops[j])
+		}
+	}
+	if sink == 0 {
+		b.Fatal("degenerate trace")
+	}
+	b.ReportMetric(float64(d.Len()), "insts/op")
+}
+
+// BenchmarkSchedulerScaling fans a fixed batch of independent BC runs
+// over the work-stealing scheduler at 1, 2 and NumCPU workers. On a
+// multi-core machine the per-op time should drop near-linearly with the
+// worker count; on one core it measures the scheduler's overhead.
+func BenchmarkSchedulerScaling(b *testing.B) {
+	p, err := BuildBenchmark("olden.health", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the shared decode outside the timed region.
+	if _, err := RunProgram(p, BC, Options{Scale: 1}); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	for _, w := range []int{2, runtime.NumCPU()} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	const runs = 4
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := sched.Do(context.Background(), runs, w,
+					func(_ context.Context, _, _ int) error {
+						_, err := RunProgram(p, BC, Options{Scale: 1})
+						return err
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(runs, "runs/op")
+		})
+	}
+}

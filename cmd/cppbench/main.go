@@ -7,15 +7,19 @@
 //	cppbench                 # all figures at the default scale
 //	cppbench -fig 10         # only Figure 10
 //	cppbench -csv -scale 2   # CSV output, smaller workloads
+//	cppbench -parallel 4     # fan the figure sweeps over 4 workers
 //
 // It is also the simulator-performance harness: -benchjson runs every
 // cache configuration over one benchmark and writes machine-readable
-// throughput numbers (BENCH_simperf.json in this repo records a run), and
+// throughput numbers (BENCH_simperf.json in this repo records a run),
+// including a predecode section (trace pre-decode cost and replay-path
+// speedup) and a parallel section (scheduler scaling probe), and
 // -cpuprofile/-memprofile capture pprof profiles of whatever work the
 // invocation does.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +29,9 @@ import (
 	"time"
 
 	"cppcache"
+	"cppcache/internal/sched"
+	"cppcache/internal/trace"
+	"cppcache/internal/workload"
 )
 
 // perfEntry is one configuration's row in the -benchjson report.
@@ -39,12 +46,46 @@ type perfEntry struct {
 	BytesPerRun  int64   `json:"bytes_per_run"`
 }
 
+// predecodeReport measures the shared trace pre-decode: how much building
+// the struct-of-arrays representation costs, what it weighs, and how much
+// faster replaying it is than iterating the generic instruction stream.
+type predecodeReport struct {
+	Insts            int     `json:"insts"`
+	BytesPerInst     float64 `json:"bytes_per_inst"`
+	DecodeWallNS     int64   `json:"decode_wall_ns"`
+	StreamNSPerInst  float64 `json:"stream_ns_per_inst"`
+	DecodedNSPerInst float64 `json:"decoded_ns_per_inst"`
+	ReplaySpeedup    float64 `json:"replay_speedup"`
+}
+
+// parallelEntry is one worker-count row of the scheduler scaling probe: a
+// fixed batch of independent full-pipeline runs fanned over the
+// work-stealing scheduler.
+type parallelEntry struct {
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	WallNS      int64   `json:"wall_ns"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+// parallelReport records the machine's core count alongside the scaling
+// rows — aggregate throughput is only comparable against baselines pinned
+// on the same core count.
+type parallelReport struct {
+	Cores   int             `json:"cores"`
+	Config  string          `json:"config"`
+	Batches []parallelEntry `json:"batches"`
+}
+
 // perfReport is the -benchjson output format.
 type perfReport struct {
-	Benchmark string      `json:"benchmark"`
-	Scale     int         `json:"scale"`
-	Reps      int         `json:"reps"`
-	Configs   []perfEntry `json:"configs"`
+	Benchmark string           `json:"benchmark"`
+	Scale     int              `json:"scale"`
+	Reps      int              `json:"reps"`
+	Configs   []perfEntry      `json:"configs"`
+	Predecode *predecodeReport `json:"predecode,omitempty"`
+	Parallel  *parallelReport  `json:"parallel,omitempty"`
 }
 
 // compareAgainst checks a fresh throughput report against a baseline
@@ -82,6 +123,114 @@ func compareAgainst(rep perfReport, baselinePath string, tolerance float64) erro
 		return fmt.Errorf("throughput regression vs %s: %v", baselinePath, regressions)
 	}
 	return nil
+}
+
+// measurePredecode times the trace pre-decode itself and the two replay
+// paths it distinguishes: the generic isa.Stream iteration the simulator
+// used to fetch from, and the struct-of-arrays scan the pre-decoded fast
+// path fetches from now.
+func measurePredecode(bench string, scale int) (*predecodeReport, error) {
+	wp, err := workload.BuildShared(bench, scale)
+	if err != nil {
+		return nil, err
+	}
+	insts := wp.Insts()
+	start := time.Now()
+	d := trace.NewDecoded(insts)
+	decodeWall := time.Since(start)
+	n := d.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("predecode: %s has an empty trace", bench)
+	}
+	const iters = 20
+	var sink uint64
+	start = time.Now()
+	for it := 0; it < iters; it++ {
+		st := wp.Stream()
+		for {
+			in, ok := st.Next()
+			if !ok {
+				break
+			}
+			sink += uint64(in.Addr) + uint64(in.Op)
+		}
+	}
+	streamWall := time.Since(start)
+	ops, addrs := d.Ops(), d.Addrs()
+	start = time.Now()
+	for it := 0; it < iters; it++ {
+		for i := range ops {
+			sink += uint64(addrs[i]) + uint64(ops[i])
+		}
+	}
+	decodedWall := time.Since(start)
+	if sink == 0 {
+		fmt.Fprintln(os.Stderr, "predecode: degenerate trace")
+	}
+	perStream := float64(streamWall.Nanoseconds()) / float64(iters*n)
+	perDecoded := float64(decodedWall.Nanoseconds()) / float64(iters*n)
+	rep := &predecodeReport{
+		Insts:            n,
+		BytesPerInst:     float64(d.Bytes()) / float64(n),
+		DecodeWallNS:     decodeWall.Nanoseconds(),
+		StreamNSPerInst:  perStream,
+		DecodedNSPerInst: perDecoded,
+	}
+	if perDecoded > 0 {
+		rep.ReplaySpeedup = perStream / perDecoded
+	}
+	return rep, nil
+}
+
+// measureParallel fans a fixed batch of independent BC runs over the
+// work-stealing scheduler at increasing worker counts and records the
+// aggregate throughput of each batch.
+func measureParallel(p *cppcache.Program, scale int) (*parallelReport, error) {
+	cores := runtime.NumCPU()
+	counts := []int{1}
+	for _, w := range []int{2, cores} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	const runs = 8
+	rep := &parallelReport{Cores: cores, Config: string(cppcache.BC)}
+	var base float64
+	for _, w := range counts {
+		start := time.Now()
+		var insts int64
+		err := sched.Do(context.Background(), runs, w,
+			func(_ context.Context, _, i int) error {
+				r, err := cppcache.RunProgram(p, cppcache.BC, cppcache.Options{Scale: scale})
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					insts = r.Instructions
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		e := parallelEntry{
+			Workers:     w,
+			Runs:        runs,
+			WallNS:      wall.Nanoseconds(),
+			InstsPerSec: float64(insts*runs) / wall.Seconds(),
+		}
+		if base == 0 {
+			base = e.InstsPerSec
+		}
+		if base > 0 {
+			e.SpeedupVs1 = e.InstsPerSec / base
+		}
+		rep.Batches = append(rep.Batches, e)
+		fmt.Fprintf(os.Stderr, "parallel workers=%-2d %8.2f ms/batch  %10.0f insts/s aggregate (%.2fx)\n",
+			w, float64(e.WallNS)/1e6, e.InstsPerSec, e.SpeedupVs1)
+	}
+	return rep, nil
 }
 
 // runBenchJSON measures end-to-end simulator throughput per cache
@@ -130,6 +279,12 @@ func runBenchJSON(path, bench string, scale, reps int) (perfReport, error) {
 		fmt.Fprintf(os.Stderr, "%-4s %8.2f ms/run  %10.0f insts/s  %7d allocs/run\n",
 			cfg, float64(perRun)/1e6, e.InstsPerSec, e.AllocsPerRun)
 	}
+	if rep.Predecode, err = measurePredecode(bench, scale); err != nil {
+		return rep, err
+	}
+	if rep.Parallel, err = measureParallel(p, scale); err != nil {
+		return rep, err
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return rep, err
@@ -150,6 +305,7 @@ func main() {
 		benchreps  = flag.Int("benchreps", 3, "timed repetitions per configuration for -benchjson")
 		against    = flag.String("against", "", "with -benchjson: compare the run to this baseline report and fail on regression")
 		regress    = flag.Float64("regress", 0.02, "with -against: tolerated per-config wall-time growth fraction")
+		parallel   = flag.Int("parallel", 0, "simulation workers for the figure sweeps (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -203,7 +359,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
+	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale, Workers: *parallel})
 	show := func(t *cppcache.Table, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cppbench:", err)

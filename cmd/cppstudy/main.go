@@ -115,39 +115,20 @@ func runPhase(bench string, configs []string, interval int64, scale int, outPref
 // runCompressors executes the compressor-zoo comparison and returns an
 // exit status: one BCC run per workload x scheme (functional mode — the
 // schemes share miss behaviour and differ only in bus traffic), reported
-// as traffic ratios to the uncompressed BC baseline.
-func runCompressors(scale int) int {
-	sc := scale
-	if sc == 0 {
-		sc = 1 // functional sweeps don't need the full compute phase
+// as traffic ratios to the uncompressed BC baseline. Workload rows fan
+// out over the scheduler's workers; the table is identical for any
+// worker count.
+func runCompressors(scale, workers int) int {
+	g, err := cppcache.SchemeTraffic(scale, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppstudy:", err)
+		return 1
 	}
-	schemes := cppcache.Compressors()
-	benches := cppcache.Benchmarks()
-	t := stats.NewTable("BCC off-chip traffic ratio vs BC, per compression scheme", benches, schemes)
-	for _, bench := range benches {
-		base, err := cppcache.Run(bench, cppcache.BC, cppcache.Options{Scale: sc, FunctionalOnly: true})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cppstudy:", err)
-			return 1
-		}
-		for _, scheme := range schemes {
-			r, err := cppcache.Run(bench, cppcache.BCC, cppcache.Options{
-				Scale: sc, FunctionalOnly: true, Compressor: scheme,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cppstudy:", err)
-				return 1
-			}
-			t.Set(bench, scheme, r.MemTrafficWords/base.MemTrafficWords)
-		}
-	}
-	g := t.WithGeomeanRow()
-	g.Note = fmt.Sprintf("scale=%d; 1.00 = uncompressed BC traffic; lower is better", sc)
 	fmt.Println(g)
 
 	fmt.Println("combinational gate depth per scheme:")
 	fmt.Printf("%-8s %12s %12s\n", "scheme", "compress", "decompress")
-	for _, scheme := range schemes {
+	for _, scheme := range cppcache.Compressors() {
 		c, d, err := cppcache.CompressorDelays(scheme)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cppstudy:", err)
@@ -169,6 +150,8 @@ func main() {
 		out      = flag.String("out", "", "prefix for per-config interval CSVs written by -phase")
 
 		compressors = flag.Bool("compressors", false, "compressor-zoo mode: compare schemes' BCC traffic across all workloads")
+
+		parallel = flag.Int("parallel", 0, "simulation workers for sweeps (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -176,10 +159,10 @@ func main() {
 		os.Exit(runPhase(*phase, strings.Split(*configs, ","), *interval, *scale, *out))
 	}
 	if *compressors {
-		os.Exit(runCompressors(*scale))
+		os.Exit(runCompressors(*scale, *parallel))
 	}
 
-	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale})
+	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale, Workers: *parallel})
 	t, err := s.Figure3()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cppstudy:", err)

@@ -7,7 +7,7 @@
 //
 //	cppverify [-seeds 100] [-ops 5000] [-configs BC,BCC,HAC,BCP,CPP]
 //	          [-compressor all] [-workloads olden.treeadd,...] [-scale 1]
-//	          [-workers N] [-v]
+//	          [-parallel N] [-v]
 //
 // -compressor selects the line-compression schemes to verify (default
 // "all": every registered scheme). Configurations that compress bus
@@ -18,14 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
-	"sync"
 
 	"cppcache/internal/compress"
+	"cppcache/internal/sched"
 	"cppcache/internal/sim"
 	"cppcache/internal/verify"
 	"cppcache/internal/workload"
@@ -47,7 +47,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload traces to replay (\"all\" for every benchmark)")
 		scale     = flag.Int("scale", 1, "workload scale for -workloads")
 		deep      = flag.Int("deep", 256, "full-state invariant scan cadence in ops")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel verification workers")
+		parallel  = flag.Int("parallel", 0, "parallel verification workers (0 = one per CPU)")
 		verbose   = flag.Bool("v", false, "print one line per clean run")
 	)
 	flag.Parse()
@@ -117,44 +117,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	jobs := make(chan job)
-	opt := verify.Options{DeepEvery: *deep}
-	var (
-		mu        sync.Mutex
-		ran       int
-		divergent []*verify.Divergence
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < max(*workers, 1); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				d, err := verify.CheckConfig(j.config, j.stream, opt)
-				mu.Lock()
-				if err != nil {
-					// Config was validated up front; this is a bug.
-					fmt.Fprintln(os.Stderr, "cppverify:", err)
-					os.Exit(2)
-				}
-				ran++
-				if d != nil {
-					divergent = append(divergent, d)
-					fmt.Printf("FAIL %-4s %s: %v\n", j.config, j.label, d)
-				} else if *verbose {
-					fmt.Printf("ok   %-4s %s\n", j.config, j.label)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	// Fan the stream x config battery over the work-stealing scheduler and
+	// report in job order afterwards, so the output (and the choice of
+	// "first" divergence to minimize) is identical for any worker count.
+	var jobList []job
 	for _, s := range streams {
 		for _, c := range runList {
-			jobs <- job{config: c, stream: s, label: s.Name}
+			jobList = append(jobList, job{config: c, stream: s, label: s.Name})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	opt := verify.Options{DeepEvery: *deep}
+	divs := make([]*verify.Divergence, len(jobList))
+	if err := sched.Do(context.Background(), len(jobList), *parallel,
+		func(_ context.Context, _, i int) error {
+			d, err := verify.CheckConfig(jobList[i].config, jobList[i].stream, opt)
+			if err != nil {
+				return err
+			}
+			divs[i] = d
+			return nil
+		}); err != nil {
+		// Config was validated up front; this is a bug.
+		fmt.Fprintln(os.Stderr, "cppverify:", err)
+		os.Exit(2)
+	}
+	ran := len(jobList)
+	var divergent []*verify.Divergence
+	for i, d := range divs {
+		if d != nil {
+			divergent = append(divergent, d)
+			fmt.Printf("FAIL %-4s %s: %v\n", jobList[i].config, jobList[i].label, d)
+		} else if *verbose {
+			fmt.Printf("ok   %-4s %s\n", jobList[i].config, jobList[i].label)
+		}
+	}
 
 	if len(divergent) == 0 {
 		fmt.Printf("PASS: %d runs clean (%d streams x %d configs), invariants: %s\n",

@@ -106,6 +106,19 @@ func baselineTable() string {
 	return experiments.BaselineTable(cpu.DefaultParams(), memsys.DefaultLatencies())
 }
 
+// SchemeTraffic runs the compressor-zoo comparison — one functional BCC
+// run per workload x registered compression scheme, as off-chip traffic
+// ratios to the uncompressed BC baseline, with a geomean row. Rows fan
+// out across workers (0 = GOMAXPROCS); the table is identical for any
+// worker count.
+func SchemeTraffic(scale, workers int) (*Table, error) {
+	t, err := experiments.SchemeTraffic(scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	return fromStats(t), nil
+}
+
 // RelatedWorkTime compares CPP against the related-work designs the paper
 // discusses in §5 — Jouppi's victim cache (VC) and the line-level
 // compression cache (LCC) — on execution time, normalised to BC.

@@ -24,6 +24,7 @@ import (
 	"cppcache/internal/mach"
 	"cppcache/internal/memsys"
 	"cppcache/internal/obs"
+	"cppcache/internal/trace"
 )
 
 // Params configures the core. The zero value is not useful; start from
@@ -154,14 +155,13 @@ func (r Result) AvgReadyQueueInMiss() float64 {
 
 // robEntry is one in-flight instruction.
 type robEntry struct {
-	in         isa.Inst
-	idx        int64 // dynamic instruction number
-	issued     bool
-	done       bool
-	lsqBlocked bool
-	doneAt     int64 // cycle the result is available
-	isMiss     bool  // memory op whose latency exceeded an L1 hit
-	fetchedAt  int64 // cycle the instruction left fetch (for IFQ modeling)
+	in        isa.Inst
+	idx       int64 // dynamic instruction number
+	issued    bool
+	done      bool
+	doneAt    int64 // cycle the result is available
+	isMiss    bool  // memory op whose latency exceeded an L1 hit
+	fetchedAt int64 // cycle the instruction left fetch (for IFQ modeling)
 }
 
 // Core is the simulated processor. Create with New; a Core is single-use:
@@ -191,13 +191,47 @@ type Core struct {
 	fault func(site string)
 
 	// Preallocated pipeline state, reused across every cycle of Run: ROB
-	// and IFQ rings of entry values, the memory-op ordering scratch, and
+	// and IFQ rings of entry values, the scheduling index structures, and
 	// the register scoreboard.
 	rob      []robEntry
 	ifq      []robEntry
-	memOps   []*robEntry
-	writerOf []int64 // virtual reg -> dynamic idx of last dispatched writer, -1 if none
+	unissued []int32     // ROB positions of dispatched-but-unissued entries, oldest first
+	lsq      []flightRec // dispatched-but-unissued memory ops, program order
+	memInfl  []flightRec // issued memory ops still completing, lazily compacted
+	aluInfl  []flightRec // issued non-memory ops still completing (latency > 1)
+	writerOf []int64     // virtual reg -> dynamic idx of last dispatched writer, -1 if none
+
+	// regReadyAt[r] is the cycle the latest dispatched writer of register
+	// r completes: readyUnknown while that writer has not issued, its
+	// doneAt afterwards. Together with writerOf it answers the readiness
+	// question without touching the ROB entry itself.
+	regReadyAt []int64
+
+	// lastMissDoneAt is the largest completion cycle of any issued miss in
+	// the current run. An entry with doneAt > cycle cannot have committed
+	// (commit requires doneAt <= cycle), so "some in-flight miss is
+	// outstanding" is exactly lastMissDoneAt > cycle — the per-cycle ROB
+	// scan the instrumentation used to do, in one comparison.
+	lastMissDoneAt int64
 }
+
+// flightRec is a weak reference to a ROB entry: pos names the ring slot
+// and idx the dynamic instruction expected there. Dynamic indices are
+// never reused, so a record whose idx no longer matches the slot simply
+// refers to a committed instruction and is dropped on the next
+// compaction; no eager removal is needed anywhere. Memory-op records
+// carry the word-aligned address and store flag so the disambiguation
+// conflict scans never touch the ROB entry itself.
+type flightRec struct {
+	idx int64
+	wa  mach.Addr
+	pos int32
+	st  bool
+}
+
+// readyUnknown marks a register whose latest writer has not issued yet;
+// it compares greater than any reachable cycle.
+const readyUnknown = int64(1) << 62
 
 // New builds a core over the given data-memory hierarchy.
 func New(p Params, d memsys.System) (*Core, error) {
@@ -210,9 +244,12 @@ func New(p Params, d memsys.System) (*Core, error) {
 		pred: newBimod(p.BranchPredBits),
 		ic:   newICache(p.ICacheLines, p.ICacheLineSz),
 
-		rob:    make([]robEntry, p.ROBSize),
-		ifq:    make([]robEntry, p.IFQSize),
-		memOps: make([]*robEntry, 0, p.ROBSize),
+		rob:      make([]robEntry, p.ROBSize),
+		ifq:      make([]robEntry, p.IFQSize),
+		unissued: make([]int32, 0, p.ROBSize),
+		lsq:     make([]flightRec, 0, 2*p.ROBSize),
+		memInfl: make([]flightRec, 0, 2*p.ROBSize),
+		aluInfl: make([]flightRec, 0, 2*p.ROBSize),
 	}
 	switch h := d.(type) {
 	case *core.Hierarchy:
@@ -283,12 +320,47 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 		robLen  int
 		ifqHead int // ring position of the oldest IFQ entry
 		ifqLen  int
-		lsqOcc  int // memory ops in the ROB not yet completed
+		lsqOcc  int // memory ops in the ROB not yet issued
+
+		// Branch-presence counters gate the mispredict-resolution scan: an
+		// unissued ROB branch is necessarily incomplete and an IFQ branch
+		// necessarily unresolved, so while either counter is non-zero the
+		// scan's outcome is known to be "unresolved" without walking
+		// anything.
+		robBranchUnissued int
+		ifqBranches       int
 	)
 	rob, ifq := c.rob, c.ifq
+	unissued := c.unissued[:0]
 	robSize, ifqSize := c.p.ROBSize, c.p.IFQSize
+	c.lastMissDoneAt = 0
+	c.lsq = c.lsq[:0]
+	c.memInfl = c.memInfl[:0]
+	c.aluInfl = c.aluInfl[:0]
 	for i := range c.writerOf {
 		c.writerOf[i] = -1
+		c.regReadyAt[i] = 0
+	}
+
+	// Pre-decoded fast path: when the stream is a trace.Replayer, fetch
+	// indexes the shared struct-of-arrays buffers directly instead of
+	// paying an interface call and a record copy per instruction. Any
+	// other Stream keeps the generic path, instruction for instruction
+	// identical.
+	var (
+		dOps           []isa.Op
+		dDests, dSrc1s []int32
+		dSrc2s         []int32
+		dAddrs, dPCs   []mach.Addr
+		dValues        []mach.Word
+		dTakens        []bool
+		dPos, dLen     int
+	)
+	if rp, ok := s.(*trace.Replayer); ok {
+		d := rp.Decoded()
+		dOps, dDests, dSrc1s, dSrc2s = d.Ops(), d.Dests(), d.Src1s(), d.Src2s()
+		dAddrs, dValues, dPCs, dTakens = d.Addrs(), d.Values(), d.PCs(), d.Takens()
+		dLen = d.Len()
 	}
 
 	// Drain loop: run until the stream is exhausted and the ROB is empty.
@@ -324,70 +396,122 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 		}
 
 		// --- Issue: wake and select ready instructions, oldest first. ---
-		fu := fuPool{
-			ialu: c.p.IntALU, imult: c.p.IntMult,
-			falu: c.p.FPALU, fmult: c.p.FPMult,
-			mem: c.p.MemPorts,
-		}
 		issued := 0
 		readyNotIssued := 0
-		// Pre-scan the LSQ ordering: a memory op must wait for every
-		// older memory op to the same word when either is a store
-		// (conservative disambiguation with exact addresses).
-		memOps := c.memOps[:0]
-		for i, pos := 0, robHead; i < robLen; i++ {
-			e := &rob[pos]
-			if pos++; pos == robSize {
-				pos = 0
-			}
-			if e.in.Op.IsMem() {
-				memOps = append(memOps, e)
-			}
-		}
-		for i, e := range memOps {
-			e.lsqBlocked = false
-			if e.issued {
-				continue
-			}
-			for j := 0; j < i; j++ {
-				o := memOps[j]
-				if mach.WordAlign(o.in.Addr) != mach.WordAlign(e.in.Addr) {
-					continue
+		// LSQ ordering: a memory op must wait for every older memory op
+		// to the same word when either is a store (conservative
+		// disambiguation with exact addresses). Completed older ops can
+		// never conflict, so the only candidates are the other unissued
+		// memory ops (c.lsq, program order) and the issued-but-incomplete
+		// ops still in flight (c.memInfl). Both lists carry weak
+		// references; stale records are compacted away here, so every
+		// record surviving the compaction was live at the start of this
+		// issue phase — the conflict scans themselves run lazily inside
+		// the selection loop, only for memory ops that are otherwise ready
+		// to issue. Nothing to do unless some memory op is dispatched but
+		// unissued (lsqOcc counts them).
+		if lsqOcc > 0 {
+			fl := c.memInfl
+			w := 0
+			for _, f := range fl {
+				o := &rob[f.pos]
+				if o.idx != f.idx || o.doneAt <= cycle {
+					continue // committed slot reused, or complete
 				}
-				conflict := o.in.Op == isa.OpStore || e.in.Op == isa.OpStore
-				if conflict && (!o.done || o.doneAt > cycle) {
-					e.lsqBlocked = true
-					break
-				}
+				fl[w] = f
+				w++
 			}
+			c.memInfl = fl[:w]
+			lq := c.lsq
+			lw := 0
+			for _, l := range lq {
+				e := &rob[l.pos]
+				if e.idx != l.idx || e.issued {
+					continue // issued since (and possibly committed)
+				}
+				lq[lw] = l
+				lw++
+			}
+			c.lsq = lq[:lw]
 		}
 
-		for i, pos := 0, robHead; i < robLen; i++ {
-			e := &rob[pos]
-			if pos++; pos == robSize {
-				pos = 0
+		// Only dispatched-but-unissued entries can issue; iterate just
+		// those (in program order, same as the historical whole-ROB scan
+		// minus its skipped entries), compacting the survivors in place.
+		if len(unissued) > 0 {
+			fu := fuPool{
+				ialu: c.p.IntALU, imult: c.p.IntMult,
+				falu: c.p.FPALU, fmult: c.p.FPMult,
+				mem: c.p.MemPorts,
 			}
-			if e.issued {
-				continue
+			// ready() inlined by hand: hoisting the scoreboard slices out
+			// of the per-entry loop is safe because setWriter can only
+			// grow them during dispatch, after this block.
+			writerOf, regReadyAt := c.writerOf, c.regReadyAt
+			keep := unissued[:0]
+			for _, upos := range unissued {
+				e := &rob[upos]
+				rdy := true
+				if s := e.in.Src1; s >= 0 && int(s) < len(writerOf) {
+					if w := writerOf[s]; w >= headIdx && w < e.idx && regReadyAt[s] > cycle {
+						rdy = false
+					}
+				}
+				if s := e.in.Src2; rdy && s >= 0 && int(s) < len(writerOf) {
+					if w := writerOf[s]; w >= headIdx && w < e.idx && regReadyAt[s] > cycle {
+						rdy = false
+					}
+				}
+				if !rdy {
+					keep = append(keep, upos)
+					continue
+				}
+				// The instruction sits in the ready queue this cycle,
+				// whether or not it wins an issue slot (the paper's
+				// Figure 15 metric counts the queue at selection time).
+				readyNotIssued++
+				if e.in.Op.IsMem() {
+					// Lazy disambiguation: scan the older unissued memory
+					// ops, then the older in-flight ones. A record for an
+					// op that issued earlier in this loop still blocks —
+					// it was unissued when the phase began, exactly as the
+					// historical up-front scan saw it.
+					blocked := false
+					ea := mach.WordAlign(e.in.Addr)
+					eStore := e.in.Op == isa.OpStore
+					eIdx := e.idx
+					for _, f := range c.lsq {
+						if f.idx < eIdx && f.wa == ea && (eStore || f.st) {
+							blocked = true
+							break
+						}
+					}
+					if !blocked {
+						for _, f := range c.memInfl {
+							if f.idx < eIdx && f.wa == ea && (eStore || f.st) {
+								blocked = true
+								break
+							}
+						}
+					}
+					if blocked {
+						keep = append(keep, upos)
+						continue
+					}
+				}
+				if issued >= c.p.IssueWidth || !fu.take(e.in.Op) {
+					keep = append(keep, upos)
+					continue
+				}
+				c.execute(e, upos, cycle, &res)
+				if e.in.Op.IsMem() {
+					lsqOcc--
+				} else if e.in.Op == isa.OpBranch {
+					robBranchUnissued--
+				}
+				issued++
 			}
-			if !c.ready(e, cycle, headIdx, robHead, robLen) {
-				continue
-			}
-			// The instruction sits in the ready queue this cycle,
-			// whether or not it wins an issue slot (the paper's
-			// Figure 15 metric counts the queue at selection time).
-			readyNotIssued++
-			if e.lsqBlocked {
-				continue
-			}
-			if issued >= c.p.IssueWidth || !fu.take(e.in.Op) {
-				continue
-			}
-			c.execute(e, cycle, &res)
-			if e.in.Op.IsMem() {
-				lsqOcc--
-			}
-			issued++
+			unissued = keep
 		}
 
 		// --- Dispatch: IFQ -> ROB/LSQ. ---
@@ -408,11 +532,19 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 			}
 			rob[tail] = *e
 			robLen++
+			unissued = append(unissued, int32(tail))
 			if e.in.Dest != isa.NoReg {
 				c.setWriter(e.in.Dest, e.idx)
 			}
 			if e.in.Op.IsMem() {
 				lsqOcc++
+				c.lsq = append(c.lsq, flightRec{
+					idx: e.idx, wa: mach.WordAlign(e.in.Addr),
+					pos: int32(tail), st: e.in.Op == isa.OpStore,
+				})
+			} else if e.in.Op == isa.OpBranch {
+				ifqBranches--
+				robBranchUnissued++
 			}
 			dispatched++
 		}
@@ -426,10 +558,25 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 			// pinned timing depends on that); fetched only feeds the
 			// idle-cycle progress check below.
 			for ifqLen < ifqSize {
-				in, ok := s.Next()
-				if !ok {
-					fetchDone = true
-					break
+				var in isa.Inst
+				if dOps != nil {
+					if dPos >= dLen {
+						fetchDone = true
+						break
+					}
+					in = isa.Inst{
+						Op: dOps[dPos], Dest: dDests[dPos],
+						Src1: dSrc1s[dPos], Src2: dSrc2s[dPos],
+						Addr: dAddrs[dPos], Value: dValues[dPos],
+						Taken: dTakens[dPos], PC: dPCs[dPos],
+					}
+					dPos++
+				} else {
+					var ok bool
+					if in, ok = s.Next(); !ok {
+						fetchDone = true
+						break
+					}
 				}
 				res.ICacheAccesses++
 				if !c.ic.access(in.PC) {
@@ -446,6 +593,7 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 				fetched++
 				if in.Op == isa.OpBranch {
 					res.Branches++
+					ifqBranches++
 					if c.pred.predict(in.PC) != in.Taken {
 						res.Mispredicts++
 						// Fetch resumes after the branch resolves;
@@ -465,8 +613,11 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 		// Resolve mispredict stalls: when the youngest unresolved branch
 		// completes, the front end restarts after the penalty. Branches
 		// still sitting in the IFQ are by construction unissued, so any
-		// branch there keeps the stall in place.
-		if fetchStallUntil == stallSentinel {
+		// branch there keeps the stall in place — the counters make both
+		// conditions one comparison, and the ROB walk (now only checking
+		// issued branches' completion cycles) runs at most a couple of
+		// times per mispredict instead of every stalled cycle.
+		if fetchStallUntil == stallSentinel && robBranchUnissued == 0 && ifqBranches == 0 {
 			resolved := true
 			var resolveAt int64
 			for i, pos := 0, robHead; i < robLen; i++ {
@@ -477,7 +628,10 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 				if e.in.Op != isa.OpBranch {
 					continue
 				}
-				if !e.done || e.doneAt > cycle {
+				// Every ROB branch is issued (robBranchUnissued == 0),
+				// hence done; only its completion cycle can hold the
+				// stall.
+				if e.doneAt > cycle {
 					resolved = false
 					break
 				}
@@ -486,34 +640,12 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 				}
 			}
 			if resolved {
-				for i, pos := 0, ifqHead; i < ifqLen; i++ {
-					e := &ifq[pos]
-					if pos++; pos == ifqSize {
-						pos = 0
-					}
-					if e.in.Op == isa.OpBranch {
-						resolved = false
-						break
-					}
-				}
-			}
-			if resolved {
 				fetchStallUntil = resolveAt + int64(c.p.MispredictPenalty)
 			}
 		}
 
 		// --- Instrumentation: ready-queue length during miss cycles. ---
-		missOutstanding := false
-		for i, pos := 0, robHead; i < robLen; i++ {
-			e := &rob[pos]
-			if pos++; pos == robSize {
-				pos = 0
-			}
-			if e.issued && e.isMiss && e.doneAt > cycle {
-				missOutstanding = true
-				break
-			}
-		}
+		missOutstanding := c.lastMissDoneAt > cycle
 		if missOutstanding {
 			res.MissCycles++
 			res.ReadyQueueSamples++
@@ -533,14 +665,29 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 		// closed form.
 		if committed == 0 && issued == 0 && dispatched == 0 && fetched == 0 &&
 			(!fetchDone || robLen > 0 || ifqLen > 0) {
+			// Pending completions are exactly the valid in-flight records:
+			// every issued op with remaining latency was pushed to one of
+			// the two lists (one-cycle ops can never be pending once the
+			// pipeline is idle), so the earliest event falls out of the
+			// same compacting walks without touching the rest of the ROB.
 			next := int64(1) << 62
-			for i, pos := 0, robHead; i < robLen; i++ {
-				e := &rob[pos]
-				if pos++; pos == robSize {
-					pos = 0
+			for li, fl := range [2][]flightRec{c.memInfl, c.aluInfl} {
+				w := 0
+				for _, f := range fl {
+					e := &rob[f.pos]
+					if e.idx != f.idx || e.doneAt <= cycle {
+						continue
+					}
+					if e.doneAt < next {
+						next = e.doneAt
+					}
+					fl[w] = f
+					w++
 				}
-				if e.done && e.doneAt > cycle && e.doneAt < next {
-					next = e.doneAt
+				if li == 0 {
+					c.memInfl = fl[:w]
+				} else {
+					c.aluInfl = fl[:w]
 				}
 			}
 			if !fetchDone && fetchStallUntil > cycle && fetchStallUntil != stallSentinel && fetchStallUntil < next {
@@ -573,6 +720,7 @@ func (c *Core) RunContext(ctx context.Context, s isa.Stream) (Result, error) {
 
 // setWriter records idx as the last dispatched writer of register r,
 // growing the scoreboard on demand (register ids are small and dense).
+// The register's ready time is unknown until that writer issues.
 func (c *Core) setWriter(r int32, idx int64) {
 	if int(r) >= len(c.writerOf) {
 		n := len(c.writerOf) * 2
@@ -588,37 +736,17 @@ func (c *Core) setWriter(r int32, idx int64) {
 			grown[i] = -1
 		}
 		c.writerOf = grown
+		grownReady := make([]int64, n)
+		copy(grownReady, c.regReadyAt)
+		c.regReadyAt = grownReady
 	}
 	c.writerOf[r] = idx
+	c.regReadyAt[r] = readyUnknown
 }
 
-// ready reports whether e's register operands are available at cycle.
-// The scoreboard stores dynamic instruction indices: a writer older than
-// the ROB head has committed (its value is architectural), and a writer at
-// or past e's own index is younger, so e reads the older committed value.
-func (c *Core) ready(e *robEntry, cycle, headIdx int64, robHead, robLen int) bool {
-	for _, src := range [2]int32{e.in.Src1, e.in.Src2} {
-		if src < 0 || int(src) >= len(c.writerOf) {
-			continue
-		}
-		w := c.writerOf[src]
-		if w < headIdx || w >= e.idx {
-			continue // committed (or never written), or younger than e
-		}
-		pos := robHead + int(w-headIdx)
-		if pos >= len(c.rob) {
-			pos -= len(c.rob)
-		}
-		we := &c.rob[pos]
-		if !we.done || we.doneAt > cycle {
-			return false
-		}
-	}
-	return true
-}
-
-// execute issues e at cycle, computing its completion time.
-func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
+// execute issues e, the entry at ROB slot pos, at cycle, computing its
+// completion time.
+func (c *Core) execute(e *robEntry, pos int32, cycle int64, res *Result) {
 	var lat int
 	if e.in.Op.IsMem() {
 		if c.obs != nil {
@@ -662,6 +790,33 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 	e.issued = true
 	e.done = true
 	e.doneAt = cycle + int64(lat)
+	if e.isMiss && e.doneAt > c.lastMissDoneAt {
+		c.lastMissDoneAt = e.doneAt
+	}
+	if d := e.in.Dest; d != isa.NoReg && c.writerOf[d] == e.idx {
+		// Still the latest writer of its destination: publish the cycle
+		// the register value becomes available.
+		c.regReadyAt[d] = e.doneAt
+	}
+	if e.doneAt > cycle+1 {
+		// Multi-cycle op: record it as in flight so disambiguation and the
+		// idle fast-forward find pending completions without a ROB walk.
+		// One-cycle ops are complete before either consumer can care.
+		if e.in.Op.IsMem() {
+			if len(c.memInfl) == cap(c.memInfl) {
+				c.memInfl = compactInflight(c.rob, c.memInfl, cycle)
+			}
+			c.memInfl = append(c.memInfl, flightRec{
+				idx: e.idx, wa: mach.WordAlign(e.in.Addr),
+				pos: pos, st: e.in.Op == isa.OpStore,
+			})
+		} else {
+			if len(c.aluInfl) == cap(c.aluInfl) {
+				c.aluInfl = compactInflight(c.rob, c.aluInfl, cycle)
+			}
+			c.aluInfl = append(c.aluInfl, flightRec{idx: e.idx, pos: pos})
+		}
+	}
 	if c.obs != nil && e.in.Op.IsMem() {
 		if e.in.Op == isa.OpLoad {
 			c.obs.ObserveLoadToUse(e.doneAt - e.fetchedAt)
@@ -670,6 +825,23 @@ func (c *Core) execute(e *robEntry, cycle int64, res *Result) {
 			c.obs.ObserveMissService(int64(lat))
 		}
 	}
+}
+
+// compactInflight drops in-flight records whose ROB slot was reused or
+// whose op has completed. Called when a list is full before a push: live
+// records never exceed the ROB size and each list's capacity is twice
+// that, so a push after compaction never reallocates.
+func compactInflight(rob []robEntry, fl []flightRec, cycle int64) []flightRec {
+	w := 0
+	for _, f := range fl {
+		e := &rob[f.pos]
+		if e.idx != f.idx || e.doneAt <= cycle {
+			continue
+		}
+		fl[w] = f
+		w++
+	}
+	return fl[:w]
 }
 
 // read dispatches a data-cache read to the concrete hierarchy when it is

@@ -10,8 +10,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"cppcache/internal/compress"
@@ -19,6 +19,7 @@ import (
 	"cppcache/internal/energy"
 	"cppcache/internal/isa"
 	"cppcache/internal/memsys"
+	"cppcache/internal/sched"
 	"cppcache/internal/sim"
 	"cppcache/internal/stats"
 	"cppcache/internal/workload"
@@ -46,9 +47,7 @@ func (o Options) withDefaults() Options {
 	if o.Lat == (memsys.Latencies{}) {
 		o.Lat = memsys.DefaultLatencies()
 	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = sched.Workers(o.Workers)
 	return o
 }
 
@@ -120,42 +119,30 @@ func (s *Suite) ensure(keys []runKey) error {
 		}
 	}
 
-	sem := make(chan struct{}, s.opt.Workers)
-	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
-	for _, k := range missing {
-		k := k
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
+	// Fan the missing runs over the work-stealing scheduler. Results land
+	// in the key-indexed map and the reported error is the one of the
+	// lowest-numbered failing run, so the outcome is independent of worker
+	// count and interleaving.
+	return sched.Do(context.Background(), len(missing), s.opt.Workers,
+		func(_ context.Context, _, j int) error {
+			k := missing[j]
 			p, err := s.program(k.bench)
-			if err == nil {
-				lat := s.opt.Lat
-				if k.halved {
-					lat = lat.Halved()
-				}
-				var r sim.Result
-				r, err = sim.Run(p, k.config, lat, s.opt.CPUParams)
-				if err == nil {
-					s.mu.Lock()
-					s.results[k] = r
-					s.mu.Unlock()
-				}
-			}
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
+				return err
 			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+			lat := s.opt.Lat
+			if k.halved {
+				lat = lat.Halved()
+			}
+			r, err := sim.Run(p, k.config, lat, s.opt.CPUParams)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.results[k] = r
+			s.mu.Unlock()
+			return nil
+		})
 }
 
 // result fetches one cached run.

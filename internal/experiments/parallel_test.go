@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSchemeTrafficParallelDeterminism: the compressor-zoo sweep must be
+// byte-identical (CSV and rendering) whatever the worker count — the
+// scheduler may execute cells in any order, but each cell lands in its
+// own slot. This parameterises the determinism check over every
+// registered compression scheme, since each scheme is a column.
+func TestSchemeTrafficParallelDeterminism(t *testing.T) {
+	seq, err := SchemeTraffic(1, 1)
+	if err != nil {
+		t.Fatalf("sequential SchemeTraffic: %v", err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := SchemeTraffic(1, workers)
+		if err != nil {
+			t.Fatalf("SchemeTraffic with %d workers: %v", workers, err)
+		}
+		if got, want := par.CSV(), seq.CSV(); got != want {
+			t.Errorf("workers=%d: CSV diverged from sequential run\nseq:\n%s\npar:\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// TestSuiteParallelDeterminism: full pipeline-timing sweeps through the
+// Suite produce byte-identical figure tables for any worker count.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	benches := []string{"olden.health", "spec2000.181.mcf"}
+	tables := func(workers int) (string, string) {
+		t.Helper()
+		s := NewSuite(Options{Scale: 1, Benchmarks: benches, Workers: workers})
+		traffic, err := s.MemoryTraffic()
+		if err != nil {
+			t.Fatalf("workers=%d: MemoryTraffic: %v", workers, err)
+		}
+		time, err := s.ExecutionTime()
+		if err != nil {
+			t.Fatalf("workers=%d: ExecutionTime: %v", workers, err)
+		}
+		return traffic.CSV(), time.CSV()
+	}
+	seqTraffic, seqTime := tables(1)
+	parTraffic, parTime := tables(4)
+	if parTraffic != seqTraffic {
+		t.Errorf("memory-traffic table diverged between 1 and 4 workers\nseq:\n%s\npar:\n%s",
+			seqTraffic, parTraffic)
+	}
+	if parTime != seqTime {
+		t.Errorf("execution-time table diverged between 1 and 4 workers\nseq:\n%s\npar:\n%s",
+			seqTime, parTime)
+	}
+}

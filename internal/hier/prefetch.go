@@ -42,6 +42,14 @@ type Prefetch struct {
 	pcfg PrefetchConfig
 	pf1  *cache.Cache // holds L1-sized lines
 	pf2  *cache.Cache // holds L2-sized lines
+
+	// Line-sized scratch buffers for buffer-hit moves and prefetch
+	// sourcing. cache.Fill copies its data argument before returning, so
+	// handing it a scratch slice is safe, and reusing the two slices keeps
+	// the prefetch path allocation-free in steady state (it used to
+	// allocate three line copies per miss, ~19 k allocations per run).
+	scr1 []mach.Word // one L1 line
+	scr2 []mach.Word // one L2 line
 }
 
 var _ memsys.System = (*Prefetch)(nil)
@@ -71,7 +79,11 @@ func NewPrefetch(cfg PrefetchConfig, m *mem.Memory) (*Prefetch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hier: L2 prefetch buffer: %w", err)
 	}
-	return &Prefetch{Standard: *std, pcfg: cfg, pf1: pf1, pf2: pf2}, nil
+	return &Prefetch{
+		Standard: *std, pcfg: cfg, pf1: pf1, pf2: pf2,
+		scr1: make([]mach.Word, std.g1.Words()),
+		scr2: make([]mach.Word, std.g2.Words()),
+	}, nil
 }
 
 // access is the shared demand read/write path; write performs the store
@@ -103,9 +115,9 @@ func (h *Prefetch) access(a mach.Addr, write bool, v mach.Word) (mach.Word, int)
 	if buf := h.pf1.Probe(a); buf != nil {
 		h.stats.PfBufHitsL1++
 		h.obs.Event(obs.EvPfBufHit, h.g1.LineAddr(a), 1)
-		data := append([]mach.Word(nil), buf.Data...)
+		copy(h.scr1, buf.Data)
 		h.pf1.Invalidate(a)
-		if ev := h.l1.Fill(a, data); ev.Valid && ev.Dirty {
+		if ev := h.l1.Fill(a, h.scr1); ev.Valid && ev.Dirty {
 			h.l2Writeback(ev)
 			h.dropStaleBuffers(h.g1.NumberToAddr(ev.Tag))
 		}
@@ -144,9 +156,9 @@ func (h *Prefetch) fetchIntoL1WithBuffers(a mach.Addr) int {
 			// L2 prefetch-buffer hit: move into the L2 cache.
 			h.stats.PfBufHitsL2++
 			h.obs.Event(obs.EvPfBufHit, h.g2.LineAddr(a), 2)
-			data := append([]mach.Word(nil), buf.Data...)
+			copy(h.scr2, buf.Data)
 			h.pf2.Invalidate(a)
-			h.fillL2(a, data)
+			h.fillL2(a, h.scr2)
 			l2line = h.l2.Probe(a)
 		} else {
 			h.stats.L2.Misses++
@@ -178,18 +190,18 @@ func (h *Prefetch) prefetchL1(base mach.Addr) {
 	if h.l1.Probe(base) != nil || h.pf1.Probe(base) != nil {
 		return
 	}
-	words := make([]mach.Word, h.g1.Words())
+	words := h.scr1
 	if l2line := h.l2.Probe(base); l2line != nil {
 		off := h.g2.WordIndex(base)
 		copy(words, l2line.Data[off:off+h.g1.Words()])
 	} else if buf := h.pf2.Probe(base); buf != nil {
 		// Promote the buffered L2 line into the L2 cache so the L2
 		// stays authoritative for every line the L1 can hold.
-		data := append([]mach.Word(nil), buf.Data...)
+		copy(h.scr2, buf.Data)
 		h.pf2.Invalidate(base)
-		h.fillL2(base, data)
+		h.fillL2(base, h.scr2)
 		off := h.g2.WordIndex(base)
-		copy(words, data[off:off+h.g1.Words()])
+		copy(words, h.scr2[off:off+h.g1.Words()])
 	} else {
 		// Prefetch through: fetch the containing L2 line from memory
 		// into the L2, then buffer the L1 line. These speculative line
@@ -213,7 +225,7 @@ func (h *Prefetch) prefetchL2(base mach.Addr) {
 	}
 	h.stats.PfIssuedL2++
 	h.obs.Event(obs.EvPfIssue, base, 2)
-	words := make([]mach.Word, h.g2.Words())
+	words := h.scr2
 	h.mem.ReadLine(base, words)
 	h.stats.MemReadHalves += int64(2 * len(words))
 	h.pf2.Fill(base, words)

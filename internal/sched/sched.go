@@ -1,0 +1,218 @@
+// Package sched is the repo's multi-run scheduler: it fans a batch of
+// independent jobs (simulation runs, sweep cells, verification batteries)
+// across CPU cores with work stealing, while keeping every observable
+// output deterministic.
+//
+// Determinism comes from the job-index contract: jobs are named 0..n-1,
+// callers write job i's result into slot i of a pre-sized slice, and Do
+// reports the error of the lowest-numbered failed job. Which worker runs
+// which job — and in what order — varies run to run; nothing the caller
+// can observe does.
+//
+// The stealing scheme is the classic contiguous-range split: each worker
+// starts with an even slice of the index space and pops from its front,
+// preserving the cache-friendly property that one worker walks mostly
+// consecutive jobs. A worker that runs dry steals the upper half of the
+// richest remaining range. With per-worker scratch (cores, hierarchies)
+// reused across the jobs a worker executes, steady-state allocation stays
+// proportional to workers, not jobs.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalises a worker-count flag: values <= 0 mean "one per
+// available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// span is one worker's remaining range of job indices, [lo, hi).
+type span struct {
+	mu sync.Mutex
+	lo int
+	hi int
+}
+
+// pop takes the front job of the range.
+func (s *span) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	j := s.lo
+	s.lo++
+	return j, true
+}
+
+// size reports the remaining job count (racy snapshot, used only as a
+// stealing heuristic).
+func (s *span) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hi - s.lo
+}
+
+// stealFrom takes the upper half of s's remaining range (at least one
+// job), returning the stolen range.
+func (s *span) stealFrom() (lo, hi int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.hi - s.lo
+	if n <= 0 {
+		return 0, 0, false
+	}
+	take := n / 2
+	if take == 0 {
+		take = 1
+	}
+	lo, hi = s.hi-take, s.hi
+	s.hi = lo
+	return lo, hi, true
+}
+
+// Do runs fn(ctx, worker, job) for every job in [0, n) across the given
+// number of workers (normalised via Workers; capped at n) and returns the
+// error of the lowest-numbered job that failed, or nil. The worker id is
+// in [0, workers) and is stable for the goroutine invoking fn, so callers
+// can key per-worker scratch off it. When ctx is canceled, jobs that have
+// not started fail with ctx's error; jobs already running are the
+// callee's responsibility (simulator loops poll ctx themselves).
+func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, job int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for j := 0; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				errs[j] = err
+				continue
+			}
+			errs[j] = fn(ctx, 0, j)
+		}
+		return firstErr(errs)
+	}
+
+	spans := make([]*span, workers)
+	for w := range spans {
+		spans[w] = &span{lo: w * n / workers, hi: (w + 1) * n / workers}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := spans[w]
+			for {
+				j, ok := own.pop()
+				if !ok {
+					// Steal the upper half of the richest victim. The
+					// size snapshots race with the victims working, but a
+					// stale pick only costs balance, never correctness.
+					best, bestN := -1, 0
+					for v, s := range spans {
+						if v == w {
+							continue
+						}
+						if sz := s.size(); sz > bestN {
+							best, bestN = v, sz
+						}
+					}
+					if best < 0 {
+						return
+					}
+					lo, hi, ok := spans[best].stealFrom()
+					if !ok {
+						continue // victim drained meanwhile; rescan
+					}
+					own.mu.Lock()
+					own.lo, own.hi = lo, hi
+					own.mu.Unlock()
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[j] = err
+					continue
+				}
+				errs[j] = fn(ctx, w, j)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// firstErr returns the error of the lowest-numbered failed job.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pool is a fixed-size worker pool for fire-and-forget tasks whose
+// lifetime is managed elsewhere (the serve registry tracks runs itself;
+// the pool only bounds goroutine churn). Unlike Do there is no batch to
+// wait for: submit with Go, stop the workers with Close.
+type Pool struct {
+	tasks chan func()
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers (normalised via
+// Workers).
+func NewPool(workers int) *Pool {
+	p := &Pool{tasks: make(chan func(), 4*Workers(workers))}
+	for i := 0; i < Workers(workers); i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Go submits fn. If every worker is busy and the queue is full — or the
+// pool is closed — fn runs on its own goroutine instead, so Go never
+// blocks and never drops work (the registry's own MaxRunning gate is the
+// real concurrency limit; the fallback just keeps Drain/shutdown safe).
+func (p *Pool) Go(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		select {
+		case p.tasks <- fn:
+			return
+		default:
+		}
+	}
+	go fn()
+}
+
+// Close stops the workers after the queued tasks finish. Tasks submitted
+// after Close still run (on fresh goroutines).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}

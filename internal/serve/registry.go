@@ -14,6 +14,7 @@ import (
 	"cppcache"
 	"cppcache/internal/chaos"
 	"cppcache/internal/obs"
+	"cppcache/internal/sched"
 )
 
 // RunSpec is the job description accepted by POST /runs.
@@ -220,8 +221,9 @@ type Counters struct {
 // cancellation, panic isolation, bounded snapshot retention and eviction
 // of old terminal runs.
 type Registry struct {
-	cfg Config
-	log *slog.Logger
+	cfg  Config
+	log  *slog.Logger
+	pool *sched.Pool // reusable workers for run execution, sized MaxRunning
 
 	mu      sync.Mutex
 	runs    map[int]*Run
@@ -251,7 +253,14 @@ func NewRegistryWith(cfg Config, log *slog.Logger) *Registry {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Registry{cfg: cfg.withDefaults(), log: log, runs: make(map[int]*Run), next: 1}
+	cfg = cfg.withDefaults()
+	return &Registry{
+		cfg:  cfg,
+		log:  log,
+		pool: sched.NewPool(cfg.MaxRunning),
+		runs: make(map[int]*Run),
+		next: 1,
+	}
 }
 
 // Limits returns the registry's effective configuration.
@@ -379,7 +388,7 @@ func (g *Registry) startLocked(run *Run) bool {
 		"functional", run.Spec.Functional,
 		"interval", run.Spec.Interval, "attr", run.Spec.Attr,
 		"timeout_sec", run.Spec.TimeoutSec, "chaos", run.Spec.Chaos != nil)
-	go g.execute(run, ctx, cancel)
+	g.pool.Go(func() { g.execute(run, ctx, cancel) })
 	return true
 }
 
@@ -597,6 +606,9 @@ func (g *Registry) Drain(timeout time.Duration) bool {
 	queued := g.queue
 	g.queue = nil
 	g.mu.Unlock()
+	// No further dispatches will be accepted; let the pool workers exit
+	// once the already-submitted executions finish.
+	g.pool.Close()
 	for _, id := range queued {
 		if run, ok := g.Get(id); ok {
 			run.mu.Lock()

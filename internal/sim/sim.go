@@ -169,7 +169,10 @@ func RunSupervised(p *workload.Program, config string, lat memsys.Latencies, par
 	rec.AttachMemPages(m.PagesTouched)
 	c.SetRecorder(rec)
 	c.SetFaultHook(sup.Fault)
-	res, runErr := c.RunContext(sup.ctx(), p.Stream())
+	// Replay the shared pre-decoded trace: the core recognises the
+	// concrete stream type and fetches straight from the struct-of-arrays
+	// buffers, which any number of concurrent runs share read-only.
+	res, runErr := c.RunContext(sup.ctx(), p.Replay())
 	rec.Finish()
 	if runErr != nil {
 		return Result{}, fmt.Errorf("sim: %s on %s canceled at cycle %d: %w",
@@ -216,15 +219,15 @@ func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Late
 	attachRecorder(sys, rec)
 	attachFault(sys, sup.Fault)
 	rec.AttachMemPages(m.PagesTouched)
-	s := p.Stream()
+	// Replay the shared pre-decoded trace. The functional loop touches
+	// only four of the record's eight fields, so the struct-of-arrays
+	// buffers keep every byte it reads hot and sequential.
+	d := p.Decoded()
+	ops, addrs, values, pcs := d.Ops(), d.Addrs(), d.Values(), d.PCs()
 	done := sup.ctx().Done()
 	fault := sup.Fault
 	var mismatches, op int64
-	for {
-		in, ok := s.Next()
-		if !ok {
-			break
-		}
+	for i := range ops {
 		if done != nil && op%funcCancelCheckEvery == 0 {
 			select {
 			case <-done:
@@ -234,21 +237,21 @@ func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Late
 			default:
 			}
 		}
-		switch in.Op {
+		switch ops[i] {
 		case isa.OpLoad:
-			rec.SetAccessPC(in.PC)
+			rec.SetAccessPC(pcs[i])
 			if fault != nil {
 				fault("sim.op")
 			}
-			if v, _ := sys.Read(in.Addr); v != in.Value {
+			if v, _ := sys.Read(addrs[i]); v != values[i] {
 				mismatches++
 			}
 		case isa.OpStore:
-			rec.SetAccessPC(in.PC)
+			rec.SetAccessPC(pcs[i])
 			if fault != nil {
 				fault("sim.op")
 			}
-			sys.Write(in.Addr, in.Value)
+			sys.Write(addrs[i], values[i])
 		}
 		op++
 		rec.OpTick(op)
@@ -289,7 +292,7 @@ func RunCPPVariant(p *workload.Program, lat memsys.Latencies, params cpu.Params,
 	if err != nil {
 		return Result{}, err
 	}
-	res := c.Run(p.Stream())
+	res := c.Run(p.Replay())
 	if res.ValueMismatches > 0 {
 		return Result{}, fmt.Errorf("sim: %s on %s: %d load value mismatches", p.Name, sys.Name(), res.ValueMismatches)
 	}

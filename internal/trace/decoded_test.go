@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"cppcache/internal/isa"
+)
+
+// sampleInsts exercises every field, including sentinel register ids.
+func sampleInsts() []isa.Inst {
+	return []isa.Inst{
+		{Op: isa.OpALU, Dest: 0, Src1: isa.NoReg, Src2: isa.NoReg, Value: 7, PC: 0x100},
+		{Op: isa.OpLoad, Dest: 1, Src1: 0, Src2: isa.NoReg, Addr: 0x1000_0000, Value: 0xdead_beef, PC: 0x104},
+		{Op: isa.OpStore, Dest: isa.NoReg, Src1: 1, Src2: 0, Addr: 0x1000_0004, Value: 42, PC: 0x108},
+		{Op: isa.OpBranch, Dest: isa.NoReg, Src1: 1, Src2: isa.NoReg, Taken: true, PC: 0x10c},
+		{Op: isa.OpFDiv, Dest: 2, Src1: 1, Src2: 0, PC: 0x110},
+	}
+}
+
+func TestDecodedRoundtrip(t *testing.T) {
+	insts := sampleInsts()
+	d := NewDecoded(insts)
+	if d.Len() != len(insts) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(insts))
+	}
+	for i, want := range insts {
+		if got := d.At(i); got != want {
+			t.Errorf("At(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestReplayerMatchesSliceStream proves the Stream adapter is
+// indistinguishable from the canonical slice stream, including across a
+// Reset.
+func TestReplayerMatchesSliceStream(t *testing.T) {
+	insts := sampleInsts()
+	r := NewDecoded(insts).Replay()
+	s := isa.NewSliceStream(insts)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; ; i++ {
+			ri, rok := r.Next()
+			si, sok := s.Next()
+			if rok != sok {
+				t.Fatalf("pass %d pos %d: ok mismatch %v vs %v", pass, i, rok, sok)
+			}
+			if !rok {
+				break
+			}
+			if ri != si {
+				t.Fatalf("pass %d pos %d: %+v vs %+v", pass, i, ri, si)
+			}
+		}
+		r.Reset()
+		s.Reset()
+	}
+	if r.Len() != len(insts) {
+		t.Fatalf("Replayer.Len = %d, want %d", r.Len(), len(insts))
+	}
+}
+
+// TestDecodedSharedCursors checks independent Replayers over one Decoded
+// do not interfere.
+func TestDecodedSharedCursors(t *testing.T) {
+	d := NewDecoded(sampleInsts())
+	a, b := d.Replay(), d.Replay()
+	a.Next()
+	a.Next()
+	in, ok := b.Next()
+	if !ok || in != d.At(0) {
+		t.Fatalf("second replayer disturbed by first: %+v ok=%v", in, ok)
+	}
+}
+
+func TestDecodedBytes(t *testing.T) {
+	d := NewDecoded(make([]isa.Inst, 10))
+	if d.Bytes() != 260 {
+		t.Fatalf("Bytes = %d, want 260", d.Bytes())
+	}
+}
