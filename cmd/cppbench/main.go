@@ -8,6 +8,7 @@
 //	cppbench -fig 10         # only Figure 10
 //	cppbench -csv -scale 2   # CSV output, smaller workloads
 //	cppbench -parallel 4     # fan the figure sweeps over 4 workers
+//	cppbench -trace-out t.json  # dump a Chrome trace of the run's spans
 //
 // It is also the simulator-performance harness: -benchjson runs every
 // cache configuration over one benchmark and writes machine-readable
@@ -30,6 +31,7 @@ import (
 
 	"cppcache"
 	"cppcache/internal/sched"
+	"cppcache/internal/span"
 	"cppcache/internal/trace"
 	"cppcache/internal/workload"
 )
@@ -69,13 +71,16 @@ type parallelEntry struct {
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
 }
 
-// parallelReport records the machine's core count alongside the scaling
+// parallelReport records the machine's parallelism alongside the scaling
 // rows — aggregate throughput is only comparable against baselines pinned
-// on the same core count.
+// on the same core count, and a GOMAXPROCS cap below num_cpu changes the
+// meaning of the per-worker rows.
 type parallelReport struct {
-	Cores   int             `json:"cores"`
-	Config  string          `json:"config"`
-	Batches []parallelEntry `json:"batches"`
+	Cores      int             `json:"cores"` // == num_cpu; kept for older baseline readers
+	NumCPU     int             `json:"num_cpu"`
+	Gomaxprocs int             `json:"gomaxprocs"`
+	Config     string          `json:"config"`
+	Batches    []parallelEntry `json:"batches"`
 }
 
 // perfReport is the -benchjson output format.
@@ -184,8 +189,10 @@ func measurePredecode(bench string, scale int) (*predecodeReport, error) {
 
 // measureParallel fans a fixed batch of independent BC runs over the
 // work-stealing scheduler at increasing worker counts and records the
-// aggregate throughput of each batch.
-func measureParallel(p *cppcache.Program, scale int) (*parallelReport, error) {
+// aggregate throughput of each batch. With a trace attached, every batch
+// gets a span and every run a child span carrying its worker index and
+// steal count.
+func measureParallel(p *cppcache.Program, scale int, tr *span.Span) (*parallelReport, error) {
 	cores := runtime.NumCPU()
 	counts := []int{1}
 	for _, w := range []int{2, cores} {
@@ -194,12 +201,19 @@ func measureParallel(p *cppcache.Program, scale int) (*parallelReport, error) {
 		}
 	}
 	const runs = 8
-	rep := &parallelReport{Cores: cores, Config: string(cppcache.BC)}
+	rep := &parallelReport{
+		Cores:      cores,
+		NumCPU:     cores,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Config:     string(cppcache.BC),
+	}
 	var base float64
 	for _, w := range counts {
+		batch := tr.StartChild(fmt.Sprintf("parallel.w%d", w), span.Int("workers", int64(w)))
 		start := time.Now()
 		var insts int64
-		err := sched.Do(context.Background(), runs, w,
+		err := sched.DoTraced(context.Background(), runs, w, batch,
+			func(i int) string { return fmt.Sprintf("run %d", i) },
 			func(_ context.Context, _, i int) error {
 				r, err := cppcache.RunProgram(p, cppcache.BC, cppcache.Options{Scale: scale})
 				if err != nil {
@@ -210,6 +224,7 @@ func measureParallel(p *cppcache.Program, scale int) (*parallelReport, error) {
 				}
 				return nil
 			})
+		batch.End()
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +251,7 @@ func measureParallel(p *cppcache.Program, scale int) (*parallelReport, error) {
 // runBenchJSON measures end-to-end simulator throughput per cache
 // configuration: wall time, instructions and memory accesses retired, and
 // the Go allocator's work per run (the hot-path optimisation target).
-func runBenchJSON(path, bench string, scale, reps int) (perfReport, error) {
+func runBenchJSON(path, bench string, scale, reps int, tr *span.Span) (perfReport, error) {
 	p, err := cppcache.BuildBenchmark(bench, scale)
 	if err != nil {
 		return perfReport{}, err
@@ -252,14 +267,17 @@ func runBenchJSON(path, bench string, scale, reps int) (perfReport, error) {
 		var res cppcache.Result
 		runtime.GC()
 		runtime.ReadMemStats(&before)
+		cfgSp := tr.StartChild("config."+string(cfg), span.Int("reps", int64(reps)))
 		start := time.Now()
 		for i := 0; i < reps; i++ {
 			res, err = cppcache.RunProgram(p, cfg, cppcache.Options{Scale: scale})
 			if err != nil {
+				cfgSp.End()
 				return perfReport{}, err
 			}
 		}
 		wall := time.Since(start)
+		cfgSp.End()
 		runtime.ReadMemStats(&after)
 		perRun := wall.Nanoseconds() / int64(reps)
 		accesses := res.L1Accesses
@@ -279,10 +297,13 @@ func runBenchJSON(path, bench string, scale, reps int) (perfReport, error) {
 		fmt.Fprintf(os.Stderr, "%-4s %8.2f ms/run  %10.0f insts/s  %7d allocs/run\n",
 			cfg, float64(perRun)/1e6, e.InstsPerSec, e.AllocsPerRun)
 	}
-	if rep.Predecode, err = measurePredecode(bench, scale); err != nil {
+	predecode := tr.StartChild("predecode")
+	rep.Predecode, err = measurePredecode(bench, scale)
+	predecode.End()
+	if err != nil {
 		return rep, err
 	}
-	if rep.Parallel, err = measureParallel(p, scale); err != nil {
+	if rep.Parallel, err = measureParallel(p, scale, tr); err != nil {
 		return rep, err
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -306,8 +327,31 @@ func main() {
 		against    = flag.String("against", "", "with -benchjson: compare the run to this baseline report and fail on regression")
 		regress    = flag.Float64("regress", 0.02, "with -against: tolerated per-config wall-time growth fraction")
 		parallel   = flag.Int("parallel", 0, "simulation workers for the figure sweeps (0 = one per CPU)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event dump of this invocation's spans to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
+
+	// The span tracer is nil-safe end to end: without -trace-out every
+	// instrumentation hook is a single nil check.
+	var tracer *span.Tracer
+	var root *span.Span
+	if *traceOut != "" {
+		tracer = span.New(0)
+		root = tracer.Start("cppbench", nil,
+			span.Int("gomaxprocs", int64(runtime.GOMAXPROCS(0))),
+			span.Int("num_cpu", int64(runtime.NumCPU())))
+	}
+	dumpTrace := func() {
+		if tracer == nil {
+			return
+		}
+		root.End()
+		if err := os.WriteFile(*traceOut, tracer.Chrome(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cppbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", tracer.Len(), *traceOut)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -341,11 +385,12 @@ func main() {
 		if benchScale == 0 {
 			benchScale = 1
 		}
-		rep, err := runBenchJSON(*benchjson, *benchname, benchScale, *benchreps)
+		rep, err := runBenchJSON(*benchjson, *benchname, benchScale, *benchreps, root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cppbench:", err)
 			os.Exit(1)
 		}
+		dumpTrace()
 		if *against != "" {
 			if err := compareAgainst(rep, *against, *regress); err != nil {
 				fmt.Fprintln(os.Stderr, "cppbench:", err)
@@ -359,7 +404,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale, Workers: *parallel})
+	s := cppcache.NewSuite(cppcache.SuiteOptions{Scale: *scale, Workers: *parallel, Trace: root})
 	show := func(t *cppcache.Table, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cppbench:", err)
@@ -409,4 +454,5 @@ func main() {
 		show(s.InstructionMix())
 	}
 	fmt.Fprintf(os.Stderr, "total time: %s\n", time.Since(start).Round(time.Millisecond))
+	dumpTrace()
 }

@@ -7,7 +7,7 @@
 //
 //	cppverify [-seeds 100] [-ops 5000] [-configs BC,BCC,HAC,BCP,CPP]
 //	          [-compressor all] [-workloads olden.treeadd,...] [-scale 1]
-//	          [-parallel N] [-v]
+//	          [-parallel N] [-trace-out spans.json] [-v]
 //
 // -compressor selects the line-compression schemes to verify (default
 // "all": every registered scheme). Configurations that compress bus
@@ -27,6 +27,7 @@ import (
 	"cppcache/internal/compress"
 	"cppcache/internal/sched"
 	"cppcache/internal/sim"
+	"cppcache/internal/span"
 	"cppcache/internal/verify"
 	"cppcache/internal/workload"
 )
@@ -49,8 +50,27 @@ func main() {
 		deep      = flag.Int("deep", 256, "full-state invariant scan cadence in ops")
 		parallel  = flag.Int("parallel", 0, "parallel verification workers (0 = one per CPU)")
 		verbose   = flag.Bool("v", false, "print one line per clean run")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event dump of the verification battery's spans to this file")
 	)
 	flag.Parse()
+
+	var tracer *span.Tracer
+	var root *span.Span
+	if *traceOut != "" {
+		tracer = span.New(0)
+		root = tracer.Start("cppverify", nil)
+	}
+	dumpTrace := func() {
+		if tracer == nil {
+			return
+		}
+		root.End()
+		if err := os.WriteFile(*traceOut, tracer.Chrome(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cppverify:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", tracer.Len(), *traceOut)
+	}
 
 	cfgList := splitList(*configs)
 	if len(cfgList) == 0 {
@@ -128,7 +148,8 @@ func main() {
 	}
 	opt := verify.Options{DeepEvery: *deep}
 	divs := make([]*verify.Divergence, len(jobList))
-	if err := sched.Do(context.Background(), len(jobList), *parallel,
+	if err := sched.DoTraced(context.Background(), len(jobList), *parallel, root,
+		func(i int) string { return "verify " + jobList[i].config + "/" + jobList[i].label },
 		func(_ context.Context, _, i int) error {
 			d, err := verify.CheckConfig(jobList[i].config, jobList[i].stream, opt)
 			if err != nil {
@@ -152,6 +173,7 @@ func main() {
 		}
 	}
 
+	dumpTrace()
 	if len(divergent) == 0 {
 		fmt.Printf("PASS: %d runs clean (%d streams x %d configs), invariants: %s\n",
 			ran, len(streams), len(runList), strings.Join(verify.Invariants(), ", "))

@@ -32,6 +32,7 @@ import (
 	"cppcache/internal/memsys"
 	"cppcache/internal/obs"
 	"cppcache/internal/sim"
+	"cppcache/internal/span"
 	"cppcache/internal/workload"
 )
 
@@ -350,6 +351,11 @@ type ObserveOptions struct {
 	// the simulation goroutine; an inert hook never changes simulation
 	// results (test-enforced).
 	FaultHook func(site string)
+	// Span, when set, parents the run's lifecycle spans (workload.build
+	// with a decode cache hit/miss event, then the sim.* stage spans) on
+	// the caller's trace. nil traces nothing, at the cost of one branch
+	// per stage boundary (the span package's nil-receiver contract).
+	Span *span.Span
 }
 
 // Observation wraps the recorder of a completed observed run and renders
@@ -420,10 +426,15 @@ func RunObservedContext(ctx context.Context, benchmark string, cfg CacheConfig, 
 	if scale == 0 {
 		scale = workload.DefaultScale
 	}
-	p, err := workload.BuildShared(benchmark, scale)
+	build := oo.Span.StartChild("workload.build",
+		span.String("benchmark", benchmark), span.Int("scale", int64(scale)))
+	p, hit, err := workload.BuildSharedCached(benchmark, scale)
 	if err != nil {
+		build.End()
 		return Result{}, nil, err
 	}
+	build.Event("decode.cache", span.Bool("hit", hit))
+	build.End()
 	return RunProgramObservedContext(ctx, &Program{p: p}, cfg, opts, oo)
 }
 
@@ -451,7 +462,7 @@ func RunProgramObservedContext(ctx context.Context, p *Program, cfg CacheConfig,
 	if err != nil {
 		return Result{}, nil, err
 	}
-	sup := sim.Supervision{Ctx: ctx, Fault: oo.FaultHook}
+	sup := sim.Supervision{Ctx: ctx, Fault: oo.FaultHook, Span: oo.Span}
 	var r sim.Result
 	if opts.FunctionalOnly {
 		r, err = sim.RunFunctionalSupervised(p.p, config, lat, rec, sup)

@@ -4,6 +4,7 @@ import (
 	"cppcache/internal/cpu"
 	"cppcache/internal/experiments"
 	"cppcache/internal/memsys"
+	"cppcache/internal/span"
 	"cppcache/internal/stats"
 )
 
@@ -42,9 +43,10 @@ type Suite struct{ s *experiments.Suite }
 
 // SuiteOptions configures a Suite.
 type SuiteOptions struct {
-	Scale      int      // workload scale (0 = default, 4)
-	Benchmarks []string // nil = all 14
-	Workers    int      // 0 = GOMAXPROCS
+	Scale      int        // workload scale (0 = default, 4)
+	Benchmarks []string   // nil = all 14
+	Workers    int        // 0 = GOMAXPROCS
+	Trace      *span.Span // optional parent span; each simulation run becomes a child span
 }
 
 // NewSuite builds an experiment suite.
@@ -53,6 +55,7 @@ func NewSuite(opt SuiteOptions) *Suite {
 		Scale:      opt.Scale,
 		Benchmarks: opt.Benchmarks,
 		Workers:    opt.Workers,
+		Trace:      opt.Trace,
 	})}
 }
 

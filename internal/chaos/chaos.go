@@ -130,8 +130,9 @@ type Injector struct {
 
 	hits atomic.Int64
 
-	mu    sync.Mutex
-	fired []string
+	mu     sync.Mutex
+	fired  []string
+	onFire func(what string)
 }
 
 // New builds an injector. ctx, when non-nil, aborts an in-progress stall
@@ -175,10 +176,22 @@ func (i *Injector) stall(d time.Duration) {
 	}
 }
 
+// SetOnFire installs an observer called (outside the injector's lock, on
+// the simulation goroutine) every time a fault fires, with the same label
+// that Fired records. The observatory turns firings into span events so a
+// panic or stall is attributable to the stage it interrupted. Install
+// before the run starts; the field is not synchronised against Hook.
+func (i *Injector) SetOnFire(fn func(what string)) {
+	i.onFire = fn
+}
+
 func (i *Injector) record(what string) {
 	i.mu.Lock()
 	i.fired = append(i.fired, what)
 	i.mu.Unlock()
+	if i.onFire != nil {
+		i.onFire(what)
+	}
 }
 
 // Hits returns how many fault points the simulation has crossed.

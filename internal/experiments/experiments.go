@@ -21,6 +21,7 @@ import (
 	"cppcache/internal/memsys"
 	"cppcache/internal/sched"
 	"cppcache/internal/sim"
+	"cppcache/internal/span"
 	"cppcache/internal/stats"
 	"cppcache/internal/workload"
 )
@@ -31,7 +32,8 @@ type Options struct {
 	Benchmarks []string // nil means all 14
 	CPUParams  cpu.Params
 	Lat        memsys.Latencies
-	Workers    int // 0 means GOMAXPROCS
+	Workers    int        // 0 means GOMAXPROCS
+	Trace      *span.Span // optional parent for per-run spans; nil disables tracing
 }
 
 func (o Options) withDefaults() Options {
@@ -122,8 +124,17 @@ func (s *Suite) ensure(keys []runKey) error {
 	// Fan the missing runs over the work-stealing scheduler. Results land
 	// in the key-indexed map and the reported error is the one of the
 	// lowest-numbered failing run, so the outcome is independent of worker
-	// count and interleaving.
-	return sched.Do(context.Background(), len(missing), s.opt.Workers,
+	// count and interleaving. With a trace attached, every run gets a span
+	// under it carrying the job, worker and steal-count attributes.
+	name := func(j int) string {
+		k := missing[j]
+		n := "run " + k.bench + "/" + k.config
+		if k.halved {
+			n += "/halved"
+		}
+		return n
+	}
+	return sched.DoTraced(context.Background(), len(missing), s.opt.Workers, s.opt.Trace, name,
 		func(_ context.Context, _, j int) error {
 			k := missing[j]
 			p, err := s.program(k.bench)

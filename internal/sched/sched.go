@@ -22,6 +22,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"cppcache/internal/span"
 )
 
 // Workers normalises a worker-count flag: values <= 0 mean "one per
@@ -33,15 +35,15 @@ func Workers(n int) int {
 	return n
 }
 
-// span is one worker's remaining range of job indices, [lo, hi).
-type span struct {
+// jobRange is one worker's remaining range of job indices, [lo, hi).
+type jobRange struct {
 	mu sync.Mutex
 	lo int
 	hi int
 }
 
 // pop takes the front job of the range.
-func (s *span) pop() (int, bool) {
+func (s *jobRange) pop() (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lo >= s.hi {
@@ -54,7 +56,7 @@ func (s *span) pop() (int, bool) {
 
 // size reports the remaining job count (racy snapshot, used only as a
 // stealing heuristic).
-func (s *span) size() int {
+func (s *jobRange) size() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hi - s.lo
@@ -62,7 +64,7 @@ func (s *span) size() int {
 
 // stealFrom takes the upper half of s's remaining range (at least one
 // job), returning the stolen range.
-func (s *span) stealFrom() (lo, hi int, ok bool) {
+func (s *jobRange) stealFrom() (lo, hi int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := s.hi - s.lo
@@ -86,6 +88,40 @@ func (s *span) stealFrom() (lo, hi int, ok bool) {
 // not started fail with ctx's error; jobs already running are the
 // callee's responsibility (simulator loops poll ctx themselves).
 func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, job int) error) error {
+	return doSteals(ctx, n, workers, func(ctx context.Context, worker, job, steals int) error {
+		return fn(ctx, worker, job)
+	})
+}
+
+// DoTraced is Do with per-job tracing: every job gets a child span of
+// parent, named by name(job), carrying the job index, the worker that ran
+// it and how many ranges that worker had stolen when the job started (a
+// direct read on how much rebalancing the batch needed). Failed jobs
+// record the error as a span attribute. A nil parent makes DoTraced
+// behave exactly like Do — the span calls no-op through nil receivers —
+// so callers plumb one optional *span.Span instead of branching.
+func DoTraced(ctx context.Context, n, workers int, parent *span.Span, name func(job int) string, fn func(ctx context.Context, worker, job int) error) error {
+	if parent == nil {
+		return Do(ctx, n, workers, fn)
+	}
+	return doSteals(ctx, n, workers, func(ctx context.Context, worker, job, steals int) error {
+		s := parent.StartChild(name(job),
+			span.Int("job", int64(job)),
+			span.Int("worker", int64(worker)),
+			span.Int("steals", int64(steals)))
+		err := fn(ctx, worker, job)
+		if err != nil {
+			s.SetAttrs(span.String("error", err.Error()))
+		}
+		s.End()
+		return err
+	})
+}
+
+// doSteals is the work-stealing engine behind Do and DoTraced. fn
+// additionally receives the number of steals its worker has performed so
+// far (always 0 on the single-worker path).
+func doSteals(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, job, steals int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -100,14 +136,14 @@ func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker
 				errs[j] = err
 				continue
 			}
-			errs[j] = fn(ctx, 0, j)
+			errs[j] = fn(ctx, 0, j, 0)
 		}
 		return firstErr(errs)
 	}
 
-	spans := make([]*span, workers)
+	spans := make([]*jobRange, workers)
 	for w := range spans {
-		spans[w] = &span{lo: w * n / workers, hi: (w + 1) * n / workers}
+		spans[w] = &jobRange{lo: w * n / workers, hi: (w + 1) * n / workers}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -115,6 +151,7 @@ func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker
 		go func(w int) {
 			defer wg.Done()
 			own := spans[w]
+			steals := 0
 			for {
 				j, ok := own.pop()
 				if !ok {
@@ -137,6 +174,7 @@ func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker
 					if !ok {
 						continue // victim drained meanwhile; rescan
 					}
+					steals++
 					own.mu.Lock()
 					own.lo, own.hi = lo, hi
 					own.mu.Unlock()
@@ -146,7 +184,7 @@ func Do(ctx context.Context, n, workers int, fn func(ctx context.Context, worker
 					errs[j] = err
 					continue
 				}
-				errs[j] = fn(ctx, w, j)
+				errs[j] = fn(ctx, w, j, steals)
 			}
 		}(w)
 	}
@@ -169,22 +207,23 @@ func firstErr(errs []error) error {
 // the pool only bounds goroutine churn). Unlike Do there is no batch to
 // wait for: submit with Go, stop the workers with Close.
 type Pool struct {
-	tasks chan func()
+	tasks chan func(worker int)
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // NewPool starts a pool with the given number of workers (normalised via
-// Workers).
+// Workers). Each worker goroutine has a stable index in [0, workers),
+// handed to tasks submitted via GoWorker.
 func NewPool(workers int) *Pool {
-	p := &Pool{tasks: make(chan func(), 4*Workers(workers))}
+	p := &Pool{tasks: make(chan func(worker int), 4*Workers(workers))}
 	for i := 0; i < Workers(workers); i++ {
-		go func() {
+		go func(worker int) {
 			for fn := range p.tasks {
-				fn()
+				fn(worker)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
@@ -194,6 +233,13 @@ func NewPool(workers int) *Pool {
 // blocks and never drops work (the registry's own MaxRunning gate is the
 // real concurrency limit; the fallback just keeps Drain/shutdown safe).
 func (p *Pool) Go(fn func()) {
+	p.GoWorker(func(int) { fn() })
+}
+
+// GoWorker is Go for tasks that want to know which pool worker runs them
+// (the observatory stamps it on execute spans). Tasks spilled to a
+// fallback goroutine — queue full or pool closed — receive worker -1.
+func (p *Pool) GoWorker(fn func(worker int)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.closed {
@@ -203,7 +249,7 @@ func (p *Pool) Go(fn func()) {
 		default:
 		}
 	}
-	go fn()
+	go fn(-1)
 }
 
 // Close stops the workers after the queued tasks finish. Tasks submitted

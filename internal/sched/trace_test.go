@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cppcache/internal/span"
+)
+
+func TestDoTracedSpansPerJob(t *testing.T) {
+	tr := span.New(0)
+	root := tr.Start("batch", nil)
+	const n = 40
+	err := DoTraced(context.Background(), n, 4, root,
+		func(job int) string { return fmt.Sprintf("job-%d", job) },
+		func(_ context.Context, worker, job int) error {
+			if job == 7 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	root.End()
+
+	seen := map[string]span.SpanData{}
+	for _, d := range tr.Snapshot() {
+		if d.ParentID == root.ID() {
+			seen[d.Name] = d
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d job spans, want %d", len(seen), n)
+	}
+	for j := 0; j < n; j++ {
+		d, ok := seen[fmt.Sprintf("job-%d", j)]
+		if !ok {
+			t.Fatalf("job %d has no span", j)
+		}
+		attrs := map[string]span.Attr{}
+		for _, a := range d.Attrs {
+			attrs[a.Key] = a
+		}
+		if got := attrs["job"].Int; got != int64(j) {
+			t.Errorf("job %d span has job attr %d", j, got)
+		}
+		if w := attrs["worker"].Int; w < 0 || w >= 4 {
+			t.Errorf("job %d worker attr %d out of range", j, w)
+		}
+		if attrs["steals"].Int < 0 {
+			t.Errorf("job %d negative steals", j)
+		}
+		if d.End.IsZero() {
+			t.Errorf("job %d span left open", j)
+		}
+		if j == 7 && attrs["error"].Str != "boom" {
+			t.Errorf("failed job span attrs = %+v, want error=boom", d.Attrs)
+		}
+		if j != 7 {
+			if _, has := attrs["error"]; has {
+				t.Errorf("job %d has spurious error attr", j)
+			}
+		}
+	}
+}
+
+func TestDoTracedNilParentIsPlainDo(t *testing.T) {
+	const n = 16
+	ran := make([]int, n)
+	var mu sync.Mutex
+	err := DoTraced(context.Background(), n, 3, nil, nil,
+		func(_ context.Context, _, job int) error {
+			mu.Lock()
+			ran[job]++
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", j, c)
+		}
+	}
+}
+
+func TestGoWorkerIndices(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	got := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		p.GoWorker(func(w int) {
+			got <- w
+			time.Sleep(time.Millisecond)
+		})
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case w := <-got:
+			// Pool workers report [0, 3); queue-full spills report -1.
+			if w != -1 && (w < 0 || w >= 3) {
+				t.Fatalf("worker index %d out of range", w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("task never ran")
+		}
+	}
+}
+
+func TestGoWorkerAfterCloseIsFallback(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	got := make(chan int, 1)
+	p.GoWorker(func(w int) { got <- w })
+	select {
+	case w := <-got:
+		if w != -1 {
+			t.Fatalf("post-close worker index = %d, want -1", w)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-close task never ran")
+	}
+}

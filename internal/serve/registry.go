@@ -15,6 +15,7 @@ import (
 	"cppcache/internal/chaos"
 	"cppcache/internal/obs"
 	"cppcache/internal/sched"
+	"cppcache/internal/span"
 )
 
 // RunSpec is the job description accepted by POST /runs.
@@ -130,6 +131,16 @@ type Run struct {
 	attrText    string
 	attrColl    string
 
+	// Lifecycle spans. The tracer is created at admission and the spans
+	// are opened/closed with the exact instants stamped on created/
+	// started/finished, so span durations reconcile with the registry
+	// timestamps to the nanosecond: root "run" = [created, finished],
+	// "queue" = [created, started], "execute" = [started, finished].
+	tracer  *span.Tracer
+	root    *span.Span
+	queueSp *span.Span
+	execSp  *span.Span
+
 	// Snapshot ring: snaps[snapHead..] wrapping, snapCount entries, the
 	// oldest of which is ordinal snapBase in the published series. The
 	// backing slice grows lazily toward ringCap.
@@ -149,6 +160,7 @@ type Run struct {
 // RunStatus is the JSON shape served for one run.
 type RunStatus struct {
 	ID               int              `json:"id"`
+	TraceID          string           `json:"trace_id,omitempty"`
 	Spec             RunSpec          `json:"spec"`
 	State            RunState         `json:"state"`
 	Created          time.Time        `json:"created"`
@@ -224,6 +236,10 @@ type Registry struct {
 	cfg  Config
 	log  *slog.Logger
 	pool *sched.Pool // reusable workers for run execution, sized MaxRunning
+
+	// stages aggregates span durations per stage across every run, the
+	// source of the cppserved_stage_seconds histogram family.
+	stages stageSet
 
 	mu      sync.Mutex
 	runs    map[int]*Run
@@ -339,24 +355,39 @@ func (g *Registry) Launch(spec RunSpec) (*Run, error) {
 		g.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrQueueFull, g.running, len(g.queue))
 	}
+	t0 := time.Now()
+	tracer := span.New(0)
+	tracer.SetOnEnd(g.stages.observe)
 	run := &Run{
 		ID:      g.next,
 		Spec:    spec,
 		state:   StateQueued,
-		created: time.Now(),
+		created: t0,
 		ringCap: g.cfg.SnapRing,
 		changed: make(chan struct{}),
+		tracer:  tracer,
 	}
+	// The root span and the queue span open at the exact created instant,
+	// so span intervals and registry timestamps reconcile precisely.
+	run.root = tracer.StartAt("run", nil, t0,
+		span.Int("run_id", int64(run.ID)),
+		span.String("workload", spec.Workload),
+		span.String("config", spec.Config),
+		span.String("compressor", spec.Compressor))
+	admit := run.root.StartChildAt("admission", t0)
+	run.queueSp = run.root.StartChildAt("queue", t0)
 	g.next++
 	g.runs[run.ID] = run
 	g.order = append(g.order, run.ID)
 	if g.running < g.cfg.MaxRunning {
 		g.startLocked(run)
 	} else {
+		admit.SetAttrs(span.Bool("queued", true))
 		g.queue = append(g.queue, run.ID)
-		g.log.Info("run queued", "run", run.ID, "workload", spec.Workload,
-			"config", spec.Config, "queue_depth", len(g.queue))
+		g.log.Info("run queued", "run_id", run.ID, "trace_id", tracer.TraceID(),
+			"workload", spec.Workload, "config", spec.Config, "queue_depth", len(g.queue))
 	}
+	admit.End()
 	g.mu.Unlock()
 	return run, nil
 }
@@ -375,20 +406,29 @@ func (g *Registry) startLocked(run *Run) bool {
 		ctx, cancel = context.WithTimeout(context.Background(),
 			time.Duration(run.Spec.TimeoutSec*float64(time.Second)))
 	}
+	started := time.Now()
 	run.state = StateRunning
-	run.started = time.Now()
+	run.started = started
 	run.cancel = cancel
+	// The queue span closes and the execute span opens at the same
+	// started instant the status JSON reports.
+	run.queueSp.EndAt(started)
+	run.execSp = run.root.StartChildAt("execute", started)
 	run.notifyLocked()
 	run.mu.Unlock()
 
 	g.running++
 	g.pending.Add(1)
-	g.log.Info("run launched", "run", run.ID, "workload", run.Spec.Workload,
+	g.log.Info("run launched", "run_id", run.ID, "trace_id", run.TraceID(),
+		"workload", run.Spec.Workload,
 		"config", run.Spec.Config, "compressor", run.Spec.Compressor,
 		"functional", run.Spec.Functional,
 		"interval", run.Spec.Interval, "attr", run.Spec.Attr,
 		"timeout_sec", run.Spec.TimeoutSec, "chaos", run.Spec.Chaos != nil)
-	g.pool.Go(func() { g.execute(run, ctx, cancel) })
+	g.pool.GoWorker(func(worker int) {
+		run.execSp.SetAttrs(span.Int("worker", int64(worker)))
+		g.execute(run, ctx, cancel)
+	})
 	return true
 }
 
@@ -403,12 +443,13 @@ func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelF
 	defer func() {
 		if p := recover(); p != nil {
 			stack := debug.Stack()
+			run.execSp.Event("panic", span.String("value", fmt.Sprint(p)))
 			run.failf("panic: %v\n\n%s", p, stack)
 			g.mu.Lock()
 			g.panics++
 			g.mu.Unlock()
-			g.log.Error("run panicked; isolated", "run", run.ID, "panic", fmt.Sprint(p),
-				"elapsed", time.Since(start))
+			g.log.Error("run panicked; isolated", "run_id", run.ID, "trace_id", run.TraceID(),
+				"panic", fmt.Sprint(p), "elapsed", time.Since(start))
 		}
 		g.onFinished()
 	}()
@@ -418,11 +459,17 @@ func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelF
 		IntervalCycles: spec.Interval,
 		Attr:           spec.Attr,
 		OnSnapshot:     run.appendSnapshot,
+		Span:           run.execSp,
 	}
 	if spec.Chaos != nil && spec.Chaos.Active() {
 		inj := chaos.New(*spec.Chaos, ctx, func() {
 			run.setCancelCause("canceled by chaos injection")
 			cancel()
+		})
+		// Fault firings land on the execute span as events, so a panic or
+		// stall is attributable to the stage interval it interrupted.
+		inj.SetOnFire(func(what string) {
+			run.execSp.Event("chaos.fired", span.String("what", what))
 		})
 		oo.FaultHook = inj.Hook
 	}
@@ -436,19 +483,21 @@ func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelF
 	switch {
 	case err == nil:
 		run.complete(&res, ob)
-		g.log.Info("run done", "run", run.ID, "elapsed", time.Since(start),
+		g.log.Info("run done", "run_id", run.ID, "trace_id", run.TraceID(),
+			"elapsed", time.Since(start),
 			"l1_misses", res.L1Misses, "traffic_words", res.MemTrafficWords)
 	case errors.Is(err, context.DeadlineExceeded):
 		run.failf("run exceeded its %gs deadline", spec.TimeoutSec)
-		g.log.Warn("run deadline expired", "run", run.ID, "timeout_sec", spec.TimeoutSec,
-			"elapsed", time.Since(start))
+		g.log.Warn("run deadline expired", "run_id", run.ID, "trace_id", run.TraceID(),
+			"timeout_sec", spec.TimeoutSec, "elapsed", time.Since(start))
 	case errors.Is(err, context.Canceled):
 		run.markCanceled()
-		g.log.Info("run canceled", "run", run.ID, "cause", run.CancelCause(),
-			"elapsed", time.Since(start))
+		g.log.Info("run canceled", "run_id", run.ID, "trace_id", run.TraceID(),
+			"cause", run.CancelCause(), "elapsed", time.Since(start))
 	default:
 		run.fail(err)
-		g.log.Error("run failed", "run", run.ID, "err", err, "elapsed", time.Since(start))
+		g.log.Error("run failed", "run_id", run.ID, "trace_id", run.TraceID(),
+			"err", err, "elapsed", time.Since(start))
 	}
 }
 
@@ -498,7 +547,7 @@ func (g *Registry) evictLocked() {
 			g.evicted++
 			g.evictedDrops += run.SnapshotsDropped()
 			delete(g.runs, id)
-			g.log.Info("run evicted", "run", id)
+			g.log.Info("run evicted", "run_id", id, "trace_id", run.TraceID())
 			continue
 		}
 		keep = append(keep, id)
@@ -525,9 +574,10 @@ func (g *Registry) Cancel(id int, cause string) error {
 		run.cancelCause = cause
 		run.errMsg = cause
 		run.finished = time.Now()
+		run.endSpansLocked(run.finished)
 		run.notifyLocked()
 		run.mu.Unlock()
-		g.log.Info("queued run canceled", "run", id, "cause", cause)
+		g.log.Info("queued run canceled", "run_id", id, "trace_id", run.TraceID(), "cause", cause)
 		return nil
 	case run.state == StateRunning:
 		run.cancelCause = cause
@@ -617,7 +667,10 @@ func (g *Registry) Drain(timeout time.Duration) bool {
 				run.cancelCause = "server draining"
 				run.errMsg = "server draining"
 				run.finished = time.Now()
+				run.endSpansLocked(run.finished)
 				run.notifyLocked()
+				g.log.Info("queued run canceled", "run_id", id, "trace_id", run.TraceID(),
+					"cause", "server draining")
 			}
 			run.mu.Unlock()
 		}
@@ -706,11 +759,22 @@ func addSnapshot(t *obs.Snapshot, s obs.Snapshot) {
 	t.PagesTouched = s.PagesTouched
 }
 
+// endSpansLocked closes the run's lifecycle spans at the terminal
+// instant. EndAt is idempotent, so spans already closed on the normal
+// path (queue at dispatch) are untouched, while a run canceled straight
+// out of the queue closes its queue span here. Callers hold r.mu.
+func (r *Run) endSpansLocked(at time.Time) {
+	r.queueSp.EndAt(at)
+	r.execSp.EndAt(at)
+	r.root.EndAt(at)
+}
+
 // complete marks the run done and captures its result and profile.
 func (r *Run) complete(res *cppcache.Result, ob *cppcache.Observation) {
 	r.mu.Lock()
 	r.state = StateDone
 	r.finished = time.Now()
+	r.endSpansLocked(r.finished)
 	r.result = res
 	r.dropped = ob.TraceDropped()
 	if ob.AttrEnabled() {
@@ -726,6 +790,7 @@ func (r *Run) fail(err error) {
 	r.mu.Lock()
 	r.state = StateFailed
 	r.finished = time.Now()
+	r.endSpansLocked(r.finished)
 	r.errMsg = err.Error()
 	r.notifyLocked()
 	r.mu.Unlock()
@@ -741,6 +806,7 @@ func (r *Run) markCanceled() {
 	r.mu.Lock()
 	r.state = StateCanceled
 	r.finished = time.Now()
+	r.endSpansLocked(r.finished)
 	if r.cancelCause == "" {
 		r.cancelCause = "canceled"
 	}
@@ -777,6 +843,7 @@ func (r *Run) Status() RunStatus {
 	defer r.mu.Unlock()
 	st := RunStatus{
 		ID:               r.ID,
+		TraceID:          r.tracer.TraceID(),
 		Spec:             r.Spec,
 		State:            r.state,
 		Created:          r.created,

@@ -10,6 +10,7 @@
 //	DELETE /runs/{id}          cancel a queued or running job
 //	GET    /runs/{id}/stream   SSE: replay + follow the interval snapshots
 //	GET    /runs/{id}/profile  attribution profile (text or collapsed stacks)
+//	GET    /runs/{id}/trace    run-lifecycle span tree (?format=chrome|otlp)
 //	GET    /metrics            Prometheus text exposition over all runs
 //	GET    /healthz            liveness
 //	GET    /debug/pprof/...    net/http/pprof
@@ -36,6 +37,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"cppcache/internal/span"
 )
 
 // DefaultStreamWriteTimeout is the per-write deadline applied to SSE
@@ -67,6 +70,7 @@ func NewServer(reg *Registry, log *slog.Logger) *Server {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -224,10 +228,35 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, text)
 }
 
+// handleTrace is GET /runs/{id}/trace: the run's lifecycle span tree as
+// indented JSON. ?format=chrome renders Chrome trace_event JSON (load it
+// in chrome://tracing or Perfetto); ?format=otlp renders newline-
+// delimited OTLP-style JSON for offline tooling.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.runFromPath(w, r)
+	if !ok {
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "tree":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(run.TraceTree())
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(run.TraceChrome())
+	case "otlp":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(run.TraceOTLP())
+	default:
+		jsonError(w, http.StatusBadRequest, "unknown trace format %q (known: tree, chrome, otlp)", format)
+	}
+}
+
 // handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	writeMetrics(&b, s.reg.Runs(), s.reg.Counters())
+	s.reg.stages.writeProm(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }
@@ -260,6 +289,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
+	// The stream gets its own root span on the run's trace (not a child
+	// of the run span: a follower can outlive the run's terminal state, so
+	// nesting it under "run" would break the child-containment invariant).
+	stream := run.tracer.Start("sse.stream", nil, span.Int("run_id", int64(run.ID)))
+	defer stream.End()
+
 	// push emits one batch under the write deadline; false disconnects.
 	push := func(emit func() error) bool {
 		// ResponseWriters without deadline support (recorders) just skip
@@ -267,7 +302,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout()))
 		if err := emit(); err != nil {
 			s.reg.CountSlowStream()
-			s.log.Warn("slow stream consumer disconnected", "run", run.ID, "err", err)
+			stream.Event("slow_consumer_disconnected", span.String("err", err.Error()))
+			s.log.Warn("slow stream consumer disconnected", "run_id", run.ID,
+				"trace_id", run.TraceID(), "err", err)
 			return false
 		}
 		if canFlush {
@@ -280,6 +317,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	emitFrom := func(next int) (int, bool) {
 		snaps, from, _, _ := run.SnapsFrom(next)
 		if from > next {
+			stream.Event("gap",
+				span.Int("from", int64(next)),
+				span.Int("resumed", int64(from)),
+				span.Int("dropped", int64(from-next)))
 			okPush := push(func() error {
 				_, err := fmt.Fprintf(w, "event: gap\ndata: {\"from\":%d,\"resumed\":%d,\"dropped\":%d}\n\n",
 					next, from, from-next)

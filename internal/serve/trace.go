@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cppcache/internal/span"
+)
+
+// stageBuckets are the cppserved_stage_seconds histogram bounds, in
+// seconds. Simulation stages on default scales land in the
+// millisecond-to-second range; the top bucket catches stalled or
+// deadline-bound runs.
+var stageBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// stageHist is one stage's cumulative histogram.
+type stageHist struct {
+	counts []int64 // one per stageBuckets entry
+	sum    float64
+	count  int64
+}
+
+// stageSet aggregates span durations per stage name, fed from the span
+// tracer's OnEnd hook and rendered on /metrics as the
+// cppserved_stage_seconds histogram family. Stage names come from the
+// fixed instrumentation vocabulary (run, admission, queue, execute,
+// workload.build, sim.*, sse.stream), so cardinality is bounded by
+// construction.
+type stageSet struct {
+	mu    sync.Mutex
+	hists map[string]*stageHist
+}
+
+// observe records one completed span. Matches span.Tracer.SetOnEnd.
+func (s *stageSet) observe(stage string, seconds float64) {
+	s.mu.Lock()
+	if s.hists == nil {
+		s.hists = map[string]*stageHist{}
+	}
+	h := s.hists[stage]
+	if h == nil {
+		h = &stageHist{counts: make([]int64, len(stageBuckets))}
+		s.hists[stage] = h
+	}
+	for i, ub := range stageBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+	s.mu.Unlock()
+}
+
+// SpanSeconds returns the observed total seconds and span count for one
+// stage (zero when the stage never completed a span). The conservation
+// tests reconcile these sums against the span tree itself.
+func (s *stageSet) SpanSeconds(stage string) (sum float64, count int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h := s.hists[stage]; h != nil {
+		return h.sum, h.count
+	}
+	return 0, 0
+}
+
+// writeProm renders the family in Prometheus text exposition 0.0.4, with
+// cumulative le buckets, stages in sorted order for deterministic output.
+func (s *stageSet) writeProm(w *strings.Builder) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.hists))
+	for name := range s.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP cppserved_stage_seconds Wall-clock seconds per run-lifecycle stage, from the span tracer.\n")
+	fmt.Fprintf(w, "# TYPE cppserved_stage_seconds histogram\n")
+	for _, name := range names {
+		h := s.hists[name]
+		stage := escapeLabel(name)
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "cppserved_stage_seconds_bucket{stage=\"%s\",le=\"%g\"} %d\n", stage, ub, h.counts[i])
+		}
+		fmt.Fprintf(w, "cppserved_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", stage, h.count)
+		fmt.Fprintf(w, "cppserved_stage_seconds_sum{stage=\"%s\"} %v\n", stage, h.sum)
+		fmt.Fprintf(w, "cppserved_stage_seconds_count{stage=\"%s\"} %d\n", stage, h.count)
+	}
+	s.mu.Unlock()
+}
+
+// StageSeconds exposes the registry's per-stage totals (see
+// stageSet.SpanSeconds); tests use it to prove the histogram family and
+// the span tree agree.
+func (g *Registry) StageSeconds(stage string) (sum float64, count int64) {
+	return g.stages.SpanSeconds(stage)
+}
+
+// TraceID returns the run's trace identifier, shared by its status JSON,
+// its log lines and every span export.
+func (r *Run) TraceID() string { return r.tracer.TraceID() }
+
+// TraceTree renders the run's span tree as indented JSON (the
+// GET /runs/{id}/trace default).
+func (r *Run) TraceTree() []byte { return r.tracer.Tree() }
+
+// TraceChrome renders the run's spans in Chrome trace_event format
+// (?format=chrome).
+func (r *Run) TraceChrome() []byte { return r.tracer.Chrome() }
+
+// TraceOTLP renders the run's spans as OTLP-style NDJSON (?format=otlp).
+func (r *Run) TraceOTLP() []byte { return r.tracer.OTLP() }
+
+// TraceSpans returns the run's raw span snapshot for tests.
+func (r *Run) TraceSpans() []span.SpanData { return r.tracer.Snapshot() }

@@ -15,6 +15,7 @@ import (
 	"cppcache/internal/mem"
 	"cppcache/internal/memsys"
 	"cppcache/internal/obs"
+	"cppcache/internal/span"
 	"cppcache/internal/workload"
 )
 
@@ -102,6 +103,11 @@ type Supervision struct {
 	// chaos harness (internal/chaos) uses it to fire panics, stalls and
 	// cancellations at deterministic execution points.
 	Fault func(site string)
+	// Span, when non-nil, parents the run's stage spans (sim.build,
+	// sim.run, sim.finish), making the wall-clock split between system
+	// construction, simulation and recorder teardown visible per run.
+	// nil records nothing.
+	Span *span.Span
 }
 
 // ctx returns the supervision context, defaulting to Background.
@@ -155,13 +161,17 @@ func RunObserved(p *workload.Program, config string, lat memsys.Latencies, param
 // fault hook is plumbed into the core and the hierarchy. A zero
 // Supervision reproduces RunObserved exactly.
 func RunSupervised(p *workload.Program, config string, lat memsys.Latencies, params cpu.Params, rec *obs.Recorder, sup Supervision) (Result, error) {
+	build := sup.Span.StartChild("sim.build",
+		span.String("benchmark", p.Name), span.String("config", config))
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
+		build.End()
 		return Result{}, err
 	}
 	c, err := cpu.New(params, sys)
 	if err != nil {
+		build.End()
 		return Result{}, err
 	}
 	attachRecorder(sys, rec)
@@ -169,11 +179,17 @@ func RunSupervised(p *workload.Program, config string, lat memsys.Latencies, par
 	rec.AttachMemPages(m.PagesTouched)
 	c.SetRecorder(rec)
 	c.SetFaultHook(sup.Fault)
+	build.End()
 	// Replay the shared pre-decoded trace: the core recognises the
 	// concrete stream type and fetches straight from the struct-of-arrays
 	// buffers, which any number of concurrent runs share read-only.
+	running := sup.Span.StartChild("sim.run")
 	res, runErr := c.RunContext(sup.ctx(), p.Replay())
+	running.SetAttrs(span.Int("cycles", int64(res.Cycles)))
+	running.End()
+	finish := sup.Span.StartChild("sim.finish")
 	rec.Finish()
+	finish.End()
 	if runErr != nil {
 		return Result{}, fmt.Errorf("sim: %s on %s canceled at cycle %d: %w",
 			p.Name, config, res.Cycles, runErr)
@@ -211,14 +227,19 @@ const funcCancelCheckEvery = 4096
 // plus at the hierarchy's own injection points. A zero Supervision
 // reproduces RunFunctionalObserved exactly.
 func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Latencies, rec *obs.Recorder, sup Supervision) (Result, error) {
+	build := sup.Span.StartChild("sim.build",
+		span.String("benchmark", p.Name), span.String("config", config))
 	m := mem.New()
 	sys, err := NewSystem(config, m, lat)
 	if err != nil {
+		build.End()
 		return Result{}, err
 	}
 	attachRecorder(sys, rec)
 	attachFault(sys, sup.Fault)
 	rec.AttachMemPages(m.PagesTouched)
+	build.End()
+	running := sup.Span.StartChild("sim.run")
 	// Replay the shared pre-decoded trace. The functional loop touches
 	// only four of the record's eight fields, so the struct-of-arrays
 	// buffers keep every byte it reads hot and sequential.
@@ -231,7 +252,10 @@ func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Late
 		if done != nil && op%funcCancelCheckEvery == 0 {
 			select {
 			case <-done:
+				running.End()
+				finish := sup.Span.StartChild("sim.finish")
 				rec.Finish()
+				finish.End()
 				return Result{}, fmt.Errorf("sim: %s on %s (functional) canceled at op %d: %w",
 					p.Name, config, op, sup.ctx().Err())
 			default:
@@ -256,7 +280,11 @@ func RunFunctionalSupervised(p *workload.Program, config string, lat memsys.Late
 		op++
 		rec.OpTick(op)
 	}
+	running.SetAttrs(span.Int("ops", op))
+	running.End()
+	finish := sup.Span.StartChild("sim.finish")
 	rec.Finish()
+	finish.End()
 	if mismatches > 0 {
 		return Result{}, fmt.Errorf("sim: %s on %s (functional): %d load value mismatches",
 			p.Name, config, mismatches)

@@ -22,17 +22,26 @@ type progKey struct {
 // and returning the cached instance afterwards. The returned Program must
 // be treated as read-only, which every simulator path already honours.
 func BuildShared(name string, scale int) (*Program, error) {
+	p, _, err := BuildSharedCached(name, scale)
+	return p, err
+}
+
+// BuildSharedCached is BuildShared plus whether the program came from the
+// memo cache (true) or was built by this call (false). The tracing layer
+// records the answer as a span event: a cache miss explains tens of
+// milliseconds of decode time that a hit never pays.
+func BuildSharedCached(name string, scale int) (*Program, bool, error) {
 	bm, err := ByName(name)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	k := progKey{name, scale}
 	sharedMu.Lock()
 	defer sharedMu.Unlock()
 	if p, ok := shared[k]; ok {
-		return p, nil
+		return p, true, nil
 	}
 	p := bm.Build(scale)
 	shared[k] = p
-	return p, nil
+	return p, false, nil
 }
