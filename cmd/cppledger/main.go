@@ -1,0 +1,270 @@
+// Command cppledger replays a cppserved run ledger offline: the same
+// crash-tolerant reader the server uses at boot, feeding the same rollup
+// engine that backs /fleet, with no server required.
+//
+// Usage:
+//
+//	cppledger -ledger runs.ledger
+//	cppledger -ledger runs.ledger -by workload,config -state done -json
+//	cppledger -ledger a.ledger -diff b.ledger -tol 0.05
+//
+// The first form prints the fleet rollup as a table (one row per
+// workload x config x compressor x state cell); -by collapses onto the
+// named dimensions and -workload/-config/-compressor/-state/-since/
+// -until/-window filter exactly like the /fleet query parameters. -json
+// emits the same aggregate JSON the server serves.
+//
+// -diff replays a second ledger and reports per-group drift (run counts,
+// panic counts, traffic per kilo-instruction, execute/queue latency)
+// beyond -tol. Exit status: 0 when the fleets agree within tolerance, 3
+// when drift was found, 1 on read errors, 2 on bad usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cppcache/internal/ledger"
+)
+
+func main() {
+	var (
+		path       = flag.String("ledger", "", "ledger file to replay (required)")
+		diffPath   = flag.String("diff", "", "second ledger to diff against -ledger")
+		tol        = flag.Float64("tol", 0.10, "relative drift tolerance for -diff")
+		by         = flag.String("by", "", "comma-separated grouping dimensions (default: all)")
+		workload   = flag.String("workload", "", "filter: workload")
+		config     = flag.String("config", "", "filter: cache configuration")
+		compressor = flag.String("compressor", "", "filter: compression scheme")
+		state      = flag.String("state", "", "filter: terminal state (done, failed, canceled)")
+		since      = flag.String("since", "", "filter: records finished at or after this RFC3339 time")
+		until      = flag.String("until", "", "filter: records finished before this RFC3339 time")
+		window     = flag.String("window", "", "filter: relative window ending now (e.g. 24h; exclusive with -since/-until)")
+		jsonOut    = flag.Bool("json", false, "emit the aggregate (or drift list) as JSON")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "cppledger: -ledger is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "cppledger: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 {
+		fmt.Fprintln(os.Stderr, "cppledger: -tol must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := buildFilter(*workload, *config, *compressor, *state, *since, *until, *window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppledger:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var dims []string
+	if *by != "" {
+		for _, d := range strings.Split(*by, ",") {
+			d = strings.TrimSpace(d)
+			if !ledger.KnownDimension(d) {
+				fmt.Fprintf(os.Stderr, "cppledger: unknown dimension %q (known: %s)\n",
+					d, strings.Join(ledger.Dimensions, ", "))
+				os.Exit(2)
+			}
+			dims = append(dims, d)
+		}
+	}
+
+	agg, stats, err := replayAggregate(*path, f, dims)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cppledger:", err)
+		os.Exit(1)
+	}
+
+	if *diffPath != "" {
+		aggB, statsB, err := replayAggregate(*diffPath, f, dims)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppledger:", err)
+			os.Exit(1)
+		}
+		drifts := ledger.DiffAggregates(agg, aggB, *tol)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(drifts)
+		} else {
+			fmt.Printf("%s: %d runs (%d skipped)\n%s: %d runs (%d skipped)\n",
+				*path, agg.TotalRuns, stats.Skipped, *diffPath, aggB.TotalRuns, statsB.Skipped)
+			if len(drifts) == 0 {
+				fmt.Printf("no drift beyond %.0f%% tolerance\n", *tol*100)
+			}
+			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			for _, d := range drifts {
+				fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%+.1f%%\n", d.Group, d.Metric, d.A, d.B, d.Rel*100)
+			}
+			tw.Flush()
+		}
+		if len(drifts) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(agg)
+		return
+	}
+	printAggregate(agg, stats)
+}
+
+// buildFilter assembles a ledger.Filter from the flag values, mirroring
+// the /fleet query parameter semantics.
+func buildFilter(workload, config, compressor, state, since, until, window string) (ledger.Filter, error) {
+	f := ledger.Filter{Workload: workload, Config: config, Compressor: compressor, State: state}
+	if since != "" {
+		t, err := time.Parse(time.RFC3339, since)
+		if err != nil {
+			return f, fmt.Errorf("bad -since %q: %v", since, err)
+		}
+		f.Since = t
+	}
+	if until != "" {
+		t, err := time.Parse(time.RFC3339, until)
+		if err != nil {
+			return f, fmt.Errorf("bad -until %q: %v", until, err)
+		}
+		f.Until = t
+	}
+	if window != "" {
+		if !f.Since.IsZero() || !f.Until.IsZero() {
+			return f, fmt.Errorf("-window is exclusive with -since/-until")
+		}
+		d, err := time.ParseDuration(window)
+		if err != nil || d <= 0 {
+			return f, fmt.Errorf("bad -window %q (want a positive Go duration like 24h)", window)
+		}
+		f.Since = time.Now().Add(-d)
+	}
+	return f, nil
+}
+
+// replayAggregate replays one ledger file into a fresh rollup and
+// aggregates it.
+func replayAggregate(path string, f ledger.Filter, dims []string) (*ledger.Aggregate, ledger.ReplayStats, error) {
+	recs, stats, err := ledger.Replay(path)
+	if err != nil {
+		return nil, stats, fmt.Errorf("%s: %v", path, err)
+	}
+	ro := ledger.NewRollup()
+	ro.AddAll(recs)
+	agg, err := ro.Aggregate(f, dims...)
+	if err != nil {
+		return nil, stats, err
+	}
+	return agg, stats, nil
+}
+
+// printAggregate renders the rollup as a table: one row per group, the
+// latency columns from the execute stage.
+func printAggregate(agg *ledger.Aggregate, stats ledger.ReplayStats) {
+	fmt.Printf("%d runs in %d groups (by %s)", agg.TotalRuns, len(agg.Groups),
+		strings.Join(agg.Dimensions, ","))
+	if stats.Skipped > 0 {
+		fmt.Printf("; %d damaged records skipped", stats.Skipped)
+	}
+	fmt.Println()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	headers := append([]string{}, agg.Dimensions...)
+	headers = append(headers, "runs", "panics", "p50 exec", "p95 exec", "p99 exec", "traffic/kinst", "specs")
+	fmt.Fprintln(tw, strings.ToUpper(strings.Join(headers, "\t")))
+	for _, g := range agg.Groups {
+		row := make([]string, 0, len(headers))
+		for _, d := range agg.Dimensions {
+			switch d {
+			case "workload":
+				row = append(row, g.Workload)
+			case "config":
+				row = append(row, g.Config)
+			case "compressor":
+				row = append(row, g.Compressor)
+			case "state":
+				row = append(row, g.State)
+			}
+		}
+		p50, p95, p99 := "-", "-", "-"
+		if ex, ok := g.Stages["execute"]; ok {
+			p50 = fmtSecs(ex.P50)
+			p95 = fmtSecs(ex.P95)
+			p99 = fmtSecs(ex.P99)
+		}
+		traffic := "-"
+		if g.TrafficPerKiloInst != nil {
+			traffic = fmt.Sprintf("%.1f", g.TrafficPerKiloInst.Mean)
+		}
+		row = append(row, fmt.Sprint(g.Runs), fmt.Sprint(g.Panics),
+			p50, p95, p99, traffic, fmt.Sprint(g.SpecHashes))
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+
+	// Exemplars: one drill-down trace per group, so a fleet anomaly in the
+	// table leads to a concrete GET /runs/{id}/trace.
+	var exRows []string
+	for _, g := range agg.Groups {
+		for _, st := range g.Stages {
+			for _, b := range st.Buckets {
+				if b.ExemplarTrace != "" {
+					exRows = append(exRows, fmt.Sprintf("  %s -> run %d trace %s",
+						groupName(g), b.ExemplarRun, b.ExemplarTrace))
+					break
+				}
+			}
+			break
+		}
+	}
+	if len(exRows) > 0 {
+		sort.Strings(exRows)
+		fmt.Println("exemplars:")
+		for _, r := range exRows {
+			fmt.Println(r)
+		}
+	}
+}
+
+// groupName joins a group's non-empty dimension values.
+func groupName(g *ledger.Group) string {
+	parts := []string{}
+	for _, v := range []string{g.Workload, g.Config, g.Compressor, g.State} {
+		if v != "" {
+			parts = append(parts, v)
+		}
+	}
+	if len(parts) == 0 {
+		return "(all)"
+	}
+	return strings.Join(parts, "/")
+}
+
+// fmtSecs renders a stage latency with a sensible unit.
+func fmtSecs(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.1fms", s*1000)
+	default:
+		return fmt.Sprintf("%.0fus", s*1e6)
+	}
+}

@@ -24,6 +24,12 @@
 // Per-run deadlines come from the RunSpec "timeout_sec" field. -chaos
 // enables the seeded fault-injection API (RunSpec "chaos" field) for
 // resilience drills.
+//
+// -ledger enables the durable run ledger: every terminal run is appended
+// (fsync'd) to the given file, and on boot the file is replayed —
+// tolerating a torn tail from a crash mid-append — to seed the /fleet
+// rollup, so fleet history survives restarts. Without -ledger the rollup
+// is in-memory only.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"cppcache/internal/ledger"
 	"cppcache/internal/serve"
 )
 
@@ -53,6 +60,7 @@ func main() {
 		retain       = flag.Int("retain", serve.DefaultRetain, "max terminal runs kept before eviction")
 		snapRing     = flag.Int("snap-ring", serve.DefaultSnapRing, "max interval snapshots retained per run")
 		allowChaos   = flag.Bool("chaos", false, "accept seeded fault-injection specs (RunSpec \"chaos\" field)")
+		ledgerPath   = flag.String("ledger", "", "append-only run ledger file (replayed on boot; empty disables persistence)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,13 +75,39 @@ func main() {
 	}
 	log := slog.New(handler)
 
+	var (
+		ledgerWriter *ledger.Writer
+		replayed     []ledger.Record
+	)
+	if *ledgerPath != "" {
+		recs, stats, err := ledger.Replay(*ledgerPath)
+		if err != nil {
+			log.Error("ledger replay", "path", *ledgerPath, "err", err)
+			os.Exit(1)
+		}
+		if stats.Skipped > 0 {
+			log.Warn("ledger replay skipped damaged records", "path", *ledgerPath,
+				"skipped", stats.Skipped, "kept", len(recs))
+		}
+		replayed = recs
+		ledgerWriter, err = ledger.OpenWriter(*ledgerPath)
+		if err != nil {
+			log.Error("ledger open", "path", *ledgerPath, "err", err)
+			os.Exit(1)
+		}
+		defer ledgerWriter.Close()
+		log.Info("ledger open", "path", *ledgerPath, "replayed_records", len(recs))
+	}
+
 	reg := serve.NewRegistryWith(serve.Config{
 		MaxRunning: *maxRuns,
 		MaxQueue:   *maxQueue,
 		Retain:     *retain,
 		SnapRing:   *snapRing,
 		AllowChaos: *allowChaos,
+		Ledger:     ledgerWriter,
 	}, log)
+	reg.SeedFleet(replayed)
 	srv := &http.Server{
 		Handler: serve.NewServer(reg, log),
 		// Slow-loris hardening: bound header and body read times and idle

@@ -112,3 +112,38 @@ func TestCppservedFlagValidation(t *testing.T) {
 		t.Errorf("output missing stray-args message:\n%s", out)
 	}
 }
+
+func TestCppledgerFlagValidation(t *testing.T) {
+	bin := build(t, "cppledger")
+	cases := []struct {
+		name    string
+		args    []string
+		needles []string
+	}{
+		{"missing ledger", nil, []string{"-ledger", "required"}},
+		{"stray args", []string{"-ledger", "x.ledger", "stray"}, []string{"unexpected arguments"}},
+		{"unknown dimension", []string{"-ledger", "x.ledger", "-by", "flavour"},
+			[]string{"flavour", "workload"}},
+		{"window with since", []string{"-ledger", "x.ledger", "-window", "1h",
+			"-since", "2026-01-01T00:00:00Z"}, []string{"-window", "-since"}},
+		{"bad since", []string{"-ledger", "x.ledger", "-since", "yesterday"},
+			[]string{"-since", "yesterday"}},
+		{"negative tol", []string{"-ledger", "x.ledger", "-tol", "-0.5"},
+			[]string{"-tol"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := runExpectUsage(t, bin, c.args...)
+			for _, n := range c.needles {
+				if !strings.Contains(out, n) {
+					t.Errorf("output missing %q:\n%s", n, out)
+				}
+			}
+		})
+	}
+
+	// A missing ledger file is not an error (same as the server booting
+	// fresh): zero runs, zero groups.
+	out := run(t, bin, "-ledger", "does-not-exist.ledger")
+	expect(t, out, "0 runs")
+}

@@ -6,6 +6,7 @@ package cmd
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -173,4 +174,144 @@ func TestSmokeCppserved(t *testing.T) {
 	if !strings.Contains(logs.String(), "drained") {
 		t.Errorf("graceful shutdown did not drain; logs:\n%s", logs.String())
 	}
+}
+
+// TestSmokeLedgerDashboard is the full durability drill: boot cppserved
+// with a ledger, complete runs, check /fleet and /dashboard, kill the
+// server with SIGKILL, simulate a torn mid-append write on the ledger
+// tail, then restart on the same file and assert the replay recovered
+// every intact record. Finally cppledger replays the ledger offline and
+// diffs it against an empty one.
+func TestSmokeLedgerDashboard(t *testing.T) {
+	bin := build(t, "cppserved")
+	ledgerBin := build(t, "cppledger")
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "runs.ledger")
+
+	boot := func(addrFile string) (*exec.Cmd, *bytes.Buffer, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-ledger", ledgerPath, "-drain-timeout", "30s")
+		var logs bytes.Buffer
+		cmd.Stderr = &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var addr string
+		for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				addr = strings.TrimSpace(string(b))
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatalf("server never wrote its address; logs:\n%s", logs.String())
+		}
+		return cmd, &logs, "http://" + addr
+	}
+
+	get := func(base, path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	cmd, logs, base := boot(filepath.Join(dir, "addr1"))
+	defer cmd.Process.Kill()
+
+	for _, spec := range []string{
+		`{"workload":"mst","config":"CPP","functional":true,"scale":1}`,
+		`{"workload":"treeadd","config":"BCC","compressor":"fpc","functional":true,"scale":1}`,
+	} {
+		resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /runs: status %d", resp.StatusCode)
+		}
+	}
+	for id := 1; id <= 2; id++ {
+		for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+			if strings.Contains(get(base, fmt.Sprintf("/runs/%d", id)), `"state": "done"`) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	expect(t, get(base, "/fleet"), `"total_runs": 2`, `"workload": "olden.mst"`,
+		`"compressor": "fpc"`, `"spec_hashes"`)
+	expect(t, get(base, "/fleet/workload"), `"dimensions"`, `"olden.treeadd"`)
+	expect(t, get(base, "/dashboard"), "<!DOCTYPE html>", "cppcache observatory",
+		"/dashboard/stream", "EventSource")
+	expect(t, get(base, "/metrics"),
+		`cppserved_fleet_runs_total{workload="olden.mst",config="CPP",compressor="paper",state="done"} 1`,
+		"cppserved_build_info{")
+
+	// Crash hard (no drain, no clean close) and tear the ledger tail the
+	// way a crash mid-append would: a frame whose payload never finished.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	f, err := os.OpenFile(ledgerPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`cppl1 412 deadbeef {"schema":1,"run_id":99,"truncat`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd2, logs2, base2 := boot(filepath.Join(dir, "addr2"))
+	defer cmd2.Process.Kill()
+	expect(t, get(base2, "/fleet"), `"total_runs": 2`, `"workload": "olden.mst"`)
+	if !strings.Contains(logs2.String(), "skipped damaged records") {
+		t.Errorf("restart logs never mentioned the torn tail:\n%s", logs2.String())
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("cppserved exited non-zero after SIGTERM: %v\nlogs:\n%s", err, logs2.String())
+	}
+	_ = logs
+
+	// Offline replay: same rollup, no server.
+	out := run(t, ledgerBin, "-ledger", ledgerPath)
+	expect(t, out, "2 runs in 2 groups", "olden.mst", "olden.treeadd",
+		"damaged records skipped", "exemplars:")
+	out = run(t, ledgerBin, "-ledger", ledgerPath, "-json", "-by", "workload")
+	expect(t, out, `"total_runs": 2`, `"dimensions"`)
+	out = run(t, ledgerBin, "-ledger", ledgerPath, "-state", "done", "-json")
+	expect(t, out, `"total_runs": 2`)
+
+	// Self-diff agrees; diff against an empty ledger drifts (exit 3).
+	out = run(t, ledgerBin, "-ledger", ledgerPath, "-diff", ledgerPath)
+	expect(t, out, "no drift")
+	empty := filepath.Join(dir, "empty.ledger")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffOut, err := exec.Command(ledgerBin, "-ledger", ledgerPath, "-diff", empty).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("diff against empty ledger: err=%v (want exit 3)\n%s", err, diffOut)
+	}
+	expect(t, string(diffOut), "presence")
 }

@@ -1,0 +1,65 @@
+package ledger
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func benchRecord(i int) Record {
+	return Record{
+		Schema: SchemaVersion, RunID: i, TraceID: "0123456789abcdef",
+		SpecHash: "d048d58de2db4373b79da1601be35e18b96a3332f75092b5eb0e30766e1fe129",
+		Workload: "olden.mst", Config: "CPP", Compressor: "paper", State: "done",
+		Created: time.Unix(1700000000, 0), Finished: time.Unix(1700000001, 0),
+		GoMaxProcs:   8,
+		StageSeconds: map[string]float64{"run": 1.25, "queue": 0.25, "execute": 1.0},
+		Intervals:    16, Instructions: 1_000_000, L1Misses: 50_000, TrafficWords: 200_000,
+	}
+}
+
+// BenchmarkAppend measures the durable append path — frame encode plus
+// write plus fsync — the entire per-terminal-run ledger overhead.
+func BenchmarkAppend(b *testing.B) {
+	w, err := OpenWriter(filepath.Join(b.TempDir(), "bench.ledger"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecHash measures canonicalisation plus SHA-256 for a typical
+// run spec shape.
+func BenchmarkSpecHash(b *testing.B) {
+	spec := map[string]any{
+		"workload": "olden.mst", "config": "CPP", "compressor": "paper",
+		"interval": 10000, "scale": 2, "functional": true,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := SpecHash(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregate measures one /fleet query over a 10k-record rollup.
+func BenchmarkAggregate(b *testing.B) {
+	ro := NewRollup()
+	for i := 0; i < 10_000; i++ {
+		r := benchRecord(i)
+		r.Workload = []string{"olden.mst", "olden.treeadd", "olden.health"}[i%3]
+		ro.Add(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ro.Aggregate(Filter{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

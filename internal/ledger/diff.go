@@ -1,0 +1,113 @@
+package ledger
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Drift is one detected difference between two aggregates: a group
+// present on only one side, or a metric whose relative change exceeds the
+// diff tolerance.
+type Drift struct {
+	Group  string  `json:"group"`
+	Metric string  `json:"metric"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	// Rel is |B-A| / max(|A|, |B|) (1 for presence drifts).
+	Rel float64 `json:"rel"`
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%-40s %-22s a=%-12.6g b=%-12.6g drift=%.1f%%",
+		d.Group, d.Metric, d.A, d.B, d.Rel*100)
+}
+
+// groupLabel renders a group's non-empty dimension values for humans.
+func groupLabel(g *Group) string {
+	parts := []string{}
+	for _, p := range []string{g.Workload, g.Config, g.Compressor, g.State} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "(all)"
+	}
+	return strings.Join(parts, "/")
+}
+
+// relDrift is the symmetric relative difference of a and b.
+func relDrift(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / den
+}
+
+// DiffAggregates compares two aggregates group by group and reports every
+// metric whose relative drift exceeds tol, plus groups present on only
+// one side. cppledger uses it to answer "did this week's fleet behave
+// like last week's": a traffic-per-instruction or p95-latency drift
+// between two ledgers of the same workload population is a regression
+// signal even when every individual run passed.
+func DiffAggregates(a, b *Aggregate, tol float64) []Drift {
+	byKey := func(agg *Aggregate) map[string]*Group {
+		m := map[string]*Group{}
+		for _, g := range agg.Groups {
+			m[g.key()] = g
+		}
+		return m
+	}
+	am, bm := byKey(a), byKey(b)
+	keys := map[string]bool{}
+	for k := range am {
+		keys[k] = true
+	}
+	for k := range bm {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var drifts []Drift
+	for _, k := range sorted {
+		ga, gb := am[k], bm[k]
+		switch {
+		case ga == nil:
+			drifts = append(drifts, Drift{Group: groupLabel(gb), Metric: "presence", A: 0, B: float64(gb.Runs), Rel: 1})
+			continue
+		case gb == nil:
+			drifts = append(drifts, Drift{Group: groupLabel(ga), Metric: "presence", A: float64(ga.Runs), B: 0, Rel: 1})
+			continue
+		}
+		label := groupLabel(ga)
+		check := func(metric string, va, vb float64) {
+			if rel := relDrift(va, vb); rel > tol {
+				drifts = append(drifts, Drift{Group: label, Metric: metric, A: va, B: vb, Rel: rel})
+			}
+		}
+		check("runs", float64(ga.Runs), float64(gb.Runs))
+		check("panics", float64(ga.Panics), float64(gb.Panics))
+		if ga.TrafficPerKiloInst != nil && gb.TrafficPerKiloInst != nil {
+			check("traffic_per_kilo_inst", ga.TrafficPerKiloInst.Mean, gb.TrafficPerKiloInst.Mean)
+		}
+		for _, stage := range []string{"execute", "queue"} {
+			sa, oka := ga.Stages[stage]
+			sb, okb := gb.Stages[stage]
+			if oka && okb && sa.Count > 0 && sb.Count > 0 {
+				check(stage+"_mean_seconds", sa.SumSeconds/float64(sa.Count), sb.SumSeconds/float64(sb.Count))
+				check(stage+"_p95_seconds", sa.P95, sb.P95)
+			}
+		}
+	}
+	return drifts
+}

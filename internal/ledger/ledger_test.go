@@ -1,0 +1,198 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRecord(id int, state string) Record {
+	return Record{
+		Schema:       SchemaVersion,
+		RunID:        id,
+		TraceID:      strings.Repeat("ab", 16),
+		SpecHash:     strings.Repeat("cd", 32),
+		Workload:     "olden.mst",
+		Config:       "CPP",
+		Compressor:   "paper",
+		State:        state,
+		Created:      time.Unix(1700000000, 0).UTC(),
+		Finished:     time.Unix(1700000001, 500).UTC(),
+		GoMaxProcs:   4,
+		StageSeconds: map[string]float64{"run": 1.5, "queue": 0.5, "execute": 1.0},
+		Intervals:    7,
+		Instructions: 1000 + int64(id),
+		L1Misses:     10 * int64(id),
+		TrafficWords: 2.5 * float64(id),
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ndjson")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{testRecord(1, "done"), testRecord(2, "failed"), testRecord(3, "canceled")}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Appended() != 3 {
+		t.Errorf("Appended = %d, want 3", w.Appended())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 || stats.Records != 3 {
+		t.Errorf("stats = %+v, want 3 records 0 skipped", stats)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	recs, stats, err := Replay(filepath.Join(t.TempDir(), "nope.ndjson"))
+	if err != nil || len(recs) != 0 || stats != (ReplayStats{}) {
+		t.Errorf("missing file: recs=%v stats=%+v err=%v, want empty", recs, stats, err)
+	}
+}
+
+// TestReplayTruncatedTail: a crash mid-append leaves a torn final line.
+// Replay must keep every earlier record and skip (and count) the tail.
+func TestReplayTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ndjson")
+	w, _ := OpenWriter(path)
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(testRecord(i, "done")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{2, 7, 20, 40} { // various torn-write points
+		torn := b[:len(b)-cut]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats, err := Replay(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 2 || stats.Records != 2 || stats.Skipped != 1 {
+			t.Errorf("cut %d: got %d records, stats %+v; want 2 records, 1 skipped",
+				cut, len(recs), stats)
+		}
+		if recs[0].RunID != 1 || recs[1].RunID != 2 {
+			t.Errorf("cut %d: wrong surviving records: %+v", cut, recs)
+		}
+	}
+}
+
+// TestReplayCorruptMiddleRecord: bit rot inside the file must cost exactly
+// the damaged record, not everything after it.
+func TestReplayCorruptMiddleRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ndjson")
+	w, _ := OpenWriter(path)
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(testRecord(i, "done")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	b, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(b), "\n")
+	// Flip a payload byte in the middle record: the checksum must catch it.
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x40
+	corrupted := lines[0] + string(mid) + lines[2]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || stats.Skipped != 1 {
+		t.Fatalf("got %d records, stats %+v; want records 1 and 3, 1 skipped", len(recs), stats)
+	}
+	if recs[0].RunID != 1 || recs[1].RunID != 3 {
+		t.Errorf("wrong survivors: %d, %d", recs[0].RunID, recs[1].RunID)
+	}
+}
+
+// TestReplayForeignGarbage: unframed lines (someone cat'd a log into the
+// ledger) are skipped without harming framed records around them.
+func TestReplayForeignGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ndjson")
+	w, _ := OpenWriter(path)
+	w.Append(testRecord(1, "done"))
+	w.Close()
+
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("not a ledger line\n\ncppl1 999 zzzzzzzz {}\n")
+	f.Close()
+	w2, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(testRecord(2, "done"))
+	w2.Close()
+
+	recs, stats, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || stats.Skipped != 2 { // blank line is ignored, not counted
+		t.Fatalf("got %d records, stats %+v; want 2 records, 2 skipped", len(recs), stats)
+	}
+	if recs[0].RunID != 1 || recs[1].RunID != 2 {
+		t.Errorf("wrong survivors: %+v", recs)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ndjson")
+	w, _ := OpenWriter(path)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 5; i++ {
+				if e := w.Append(testRecord(g*100+i, "done")); e != nil {
+					err = e
+				}
+			}
+			done <- err
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	recs, stats, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 || stats.Skipped != 0 {
+		t.Errorf("got %d records, %d skipped; want 40 intact", len(recs), stats.Skipped)
+	}
+}

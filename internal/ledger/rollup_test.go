@@ -1,0 +1,282 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetFixture builds a small mixed fleet: two identical mst/CPP runs,
+// one mst/BCC@fpc run, one failed treeadd run and one canceled one,
+// spread over distinct finish times for window tests.
+func fleetFixture() []Record {
+	base := time.Unix(1700000000, 0).UTC()
+	mk := func(id int, wl, cfg, comp, state string, insts, misses int64,
+		traffic, execSecs float64, finishedAt time.Duration) Record {
+		return Record{
+			RunID:    id,
+			TraceID:  fmt.Sprintf("trace-%02d", id),
+			SpecHash: fmt.Sprintf("hash-%s-%s-%s", wl, cfg, comp),
+			Workload: wl, Config: cfg, Compressor: comp, State: state,
+			Created:      base,
+			Finished:     base.Add(finishedAt),
+			Instructions: insts, L1Misses: misses, TrafficWords: traffic,
+			Intervals: 2,
+			StageSeconds: map[string]float64{
+				"run": execSecs + 0.25, "queue": 0.25, "execute": execSecs,
+			},
+		}
+	}
+	recs := []Record{
+		mk(1, "olden.mst", "CPP", "paper", "done", 1000, 50, 200, 0.010, 1*time.Minute),
+		mk(2, "olden.mst", "CPP", "paper", "done", 1000, 50, 200, 0.020, 2*time.Minute),
+		mk(3, "olden.mst", "BCC", "fpc", "done", 1000, 50, 120, 0.150, 3*time.Minute),
+		mk(4, "olden.treeadd", "CPP", "paper", "failed", 400, 10, 80, 0.005, 4*time.Minute),
+		mk(5, "olden.treeadd", "CPP", "paper", "canceled", 0, 0, 0, 0.001, 5*time.Minute),
+	}
+	recs[3].Panic = true
+	recs[4].Chaos = true
+	return recs
+}
+
+// TestAggregateConservation: every group counter must be the exact sum of
+// its member records, and the groups must partition the filtered set —
+// the same standard obs and span hold for per-run metrics, applied at
+// fleet level.
+func TestAggregateConservation(t *testing.T) {
+	ro := NewRollup()
+	recs := fleetFixture()
+	ro.AddAll(recs)
+
+	agg, err := ro.Aggregate(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TotalRuns != int64(len(recs)) {
+		t.Errorf("TotalRuns = %d, want %d", agg.TotalRuns, len(recs))
+	}
+
+	var wantInsts, wantMisses, wantRuns int64
+	var wantTraffic, wantExec float64
+	for _, r := range recs {
+		wantRuns++
+		wantInsts += r.Instructions
+		wantMisses += r.L1Misses
+		wantTraffic += r.TrafficWords
+		wantExec += r.StageSeconds["execute"]
+	}
+	var gotInsts, gotMisses, gotRuns int64
+	var gotTraffic, gotExec float64
+	for _, g := range agg.Groups {
+		gotRuns += g.Runs
+		gotInsts += g.Instructions
+		gotMisses += g.L1Misses
+		gotTraffic += g.TrafficWords
+		if st, ok := g.Stages["execute"]; ok {
+			gotExec += st.SumSeconds
+			var bucketRuns int64
+			for _, b := range st.Buckets {
+				bucketRuns += b.Count
+			}
+			if bucketRuns != st.Count {
+				t.Errorf("group %+v: bucket counts sum to %d, stage count %d", g, bucketRuns, st.Count)
+			}
+		}
+	}
+	if gotRuns != wantRuns || gotInsts != wantInsts || gotMisses != wantMisses {
+		t.Errorf("counter conservation broken: runs %d/%d insts %d/%d misses %d/%d",
+			gotRuns, wantRuns, gotInsts, wantInsts, gotMisses, wantMisses)
+	}
+	if math.Abs(gotTraffic-wantTraffic) > 1e-9 {
+		t.Errorf("traffic %g != %g", gotTraffic, wantTraffic)
+	}
+	if math.Abs(gotExec-wantExec) > 1e-12 {
+		t.Errorf("execute seconds %g != %g", gotExec, wantExec)
+	}
+
+	// Dimension-reduced aggregation conserves the same totals.
+	byState, err := ro.Aggregate(Filter{}, "state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stateRuns int64
+	counts := map[string]int64{}
+	for _, g := range byState.Groups {
+		if g.Workload != "" || g.Config != "" || g.Compressor != "" {
+			t.Errorf("state-only group leaked other dimensions: %+v", g)
+		}
+		stateRuns += g.Runs
+		counts[g.State] = g.Runs
+	}
+	if stateRuns != wantRuns {
+		t.Errorf("by-state runs %d != %d", stateRuns, wantRuns)
+	}
+	want := map[string]int64{"done": 3, "failed": 1, "canceled": 1}
+	for st, n := range want {
+		if counts[st] != n {
+			t.Errorf("state %s: %d runs, want %d", st, counts[st], n)
+		}
+	}
+}
+
+func TestAggregateFiltersAndWindow(t *testing.T) {
+	ro := NewRollup()
+	ro.AddAll(fleetFixture())
+	base := time.Unix(1700000000, 0).UTC()
+
+	cases := []struct {
+		name string
+		f    Filter
+		want int64
+	}{
+		{"all", Filter{}, 5},
+		{"workload", Filter{Workload: "olden.mst"}, 3},
+		{"config", Filter{Config: "BCC"}, 1},
+		{"compressor", Filter{Compressor: "paper"}, 4},
+		{"state done", Filter{State: "done"}, 3},
+		{"since minute 3", Filter{Since: base.Add(3 * time.Minute)}, 3},
+		{"until minute 3", Filter{Until: base.Add(3 * time.Minute)}, 2},
+		{"window 2..4", Filter{Since: base.Add(2 * time.Minute), Until: base.Add(4 * time.Minute)}, 2},
+		{"combined", Filter{Workload: "olden.mst", State: "done", Since: base.Add(2 * time.Minute)}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			agg, err := ro.Aggregate(c.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg.TotalRuns != c.want {
+				t.Errorf("TotalRuns = %d, want %d", agg.TotalRuns, c.want)
+			}
+		})
+	}
+
+	if _, err := ro.Aggregate(Filter{}, "flavour"); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestStageQuantilesAndExemplars(t *testing.T) {
+	ro := NewRollup()
+	// 100 runs: 99 fast executes (~1ms) and one slow outlier (~900ms).
+	for i := 1; i <= 100; i++ {
+		exec := 0.001
+		if i == 100 {
+			exec = 0.9
+		}
+		ro.Add(Record{
+			RunID: i, TraceID: fmt.Sprintf("t%03d", i),
+			SpecHash: "h", Workload: "olden.mst", Config: "CPP", Compressor: "paper",
+			State:        "done",
+			Finished:     time.Unix(1700000000+int64(i), 0).UTC(),
+			StageSeconds: map[string]float64{"execute": exec},
+		})
+	}
+	agg, err := ro.Aggregate(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Groups) != 1 {
+		t.Fatalf("want 1 group, got %d", len(agg.Groups))
+	}
+	st := agg.Groups[0].Stages["execute"]
+	if st.Count != 100 {
+		t.Fatalf("stage count = %d", st.Count)
+	}
+	// p50/p95 sit in the ~1ms population; p99-by-rank is the 99th of 100,
+	// still fast; the bucket max must catch the outlier.
+	if st.P50 > 0.005 || st.P95 > 0.005 {
+		t.Errorf("p50/p95 pulled up by outlier: p50=%g p95=%g", st.P50, st.P95)
+	}
+	if st.MaxSeconds < 0.5 {
+		t.Errorf("max %g lost the outlier", st.MaxSeconds)
+	}
+	if st.SumSeconds < 0.99 || st.SumSeconds > 1.0 {
+		t.Errorf("sum %g, want 99*1ms + 900ms", st.SumSeconds)
+	}
+
+	// Every non-empty bucket carries an exemplar naming a real run, and
+	// the outlier's bucket names the outlier.
+	var outlierSeen bool
+	for _, b := range st.Buckets {
+		if b.Count > 0 && b.ExemplarTrace == "" {
+			t.Errorf("bucket [%d,%d] has no exemplar", b.LoMicros, b.HiMicros)
+		}
+		if b.HiMicros >= 900000 && b.LoMicros <= 900000 {
+			if b.ExemplarTrace != "t100" || b.ExemplarRun != 100 {
+				t.Errorf("outlier bucket exemplar = %s/run %d, want t100/100", b.ExemplarTrace, b.ExemplarRun)
+			}
+			outlierSeen = true
+		}
+	}
+	if !outlierSeen {
+		t.Error("no bucket covers the 900ms outlier")
+	}
+}
+
+func TestAggregateJSONShape(t *testing.T) {
+	ro := NewRollup()
+	ro.AddAll(fleetFixture())
+	agg, err := ro.Aggregate(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		`"total_runs":5`, `"workload":"olden.mst"`, `"compressor":"fpc"`,
+		`"p95_seconds"`, `"exemplar_trace_id"`, `"spec_hashes"`,
+	} {
+		if !strings.Contains(string(b), needle) {
+			t.Errorf("aggregate JSON missing %s:\n%s", needle, b)
+		}
+	}
+}
+
+func TestDiffAggregates(t *testing.T) {
+	roA, roB := NewRollup(), NewRollup()
+	roA.AddAll(fleetFixture())
+	// B: the BCC group vanished, mst/CPP traffic drifted 2x, treeadd is
+	// unchanged.
+	for _, r := range fleetFixture() {
+		switch {
+		case r.Config == "BCC":
+			continue
+		case r.Workload == "olden.mst":
+			r.TrafficWords *= 2
+		}
+		roB.Add(r)
+	}
+	aggA, _ := roA.Aggregate(Filter{}, "workload", "config", "compressor")
+	aggB, _ := roB.Aggregate(Filter{}, "workload", "config", "compressor")
+
+	drifts := DiffAggregates(aggA, aggB, 0.10)
+	var sawPresence, sawTraffic bool
+	for _, d := range drifts {
+		if d.Metric == "presence" && strings.Contains(d.Group, "BCC") {
+			sawPresence = true
+		}
+		if d.Metric == "traffic_per_kilo_inst" && strings.Contains(d.Group, "olden.mst") {
+			sawTraffic = true
+			if math.Abs(d.Rel-0.5) > 1e-9 { // 2x drift = 50% symmetric
+				t.Errorf("traffic drift rel = %g, want 0.5", d.Rel)
+			}
+		}
+		if strings.Contains(d.Group, "treeadd") && d.Metric != "presence" {
+			t.Errorf("unchanged group flagged: %+v", d)
+		}
+	}
+	if !sawPresence || !sawTraffic {
+		t.Errorf("missing drifts (presence=%v traffic=%v): %+v", sawPresence, sawTraffic, drifts)
+	}
+
+	// Identical fleets: no drift at all.
+	if d := DiffAggregates(aggA, aggA, 0.0); len(d) != 0 {
+		t.Errorf("self-diff reported drifts: %+v", d)
+	}
+}

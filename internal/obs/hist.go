@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -66,6 +67,37 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed values: the inclusive upper bound of the bucket holding the
+// ceil(q*Count)-th smallest observation, clamped to the observed Max.
+// With power-of-two buckets the estimate is within 2x of the true
+// quantile, exact for values that land on bucket boundaries. An empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			_, hi := BucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
 }
 
 // Bucket is one non-empty histogram bucket.

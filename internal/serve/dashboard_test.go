@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDashboardPage: the observatory page is one self-contained HTML
+// document — correct content type, no external asset references, and the
+// hooks the live layer depends on (SSE endpoint, table bodies, trace
+// links) all present.
+func TestDashboardPage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+	var b strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, needle := range []string{
+		"<!DOCTYPE html>",
+		"cppcache observatory",
+		"/dashboard/stream",
+		`id="fleet"`,
+		`id="runs"`,
+		"EventSource",
+		"prefers-color-scheme: dark",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("dashboard missing %q", needle)
+		}
+	}
+	for _, banned := range []string{"<script src=", "<link ", "https://", "@import"} {
+		if strings.Contains(body, banned) {
+			t.Errorf("dashboard references an external asset: found %q", banned)
+		}
+	}
+}
+
+// TestDashboardStream: the SSE sample feed emits well-formed periodic
+// samples whose state counts cover every lifecycle state and whose
+// cumulative sums reflect completed work.
+func TestDashboardStream(t *testing.T) {
+	reg := NewRegistry(nil)
+	srv := NewServer(reg, nil)
+	srv.DashboardSampleInterval = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st := launch(t, ts, `{"workload":"mst","config":"CPP","functional":true,"scale":1}`)
+	final := waitDone(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/dashboard/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type sample struct {
+		T            time.Time      `json:"t"`
+		States       map[string]int `json:"states"`
+		Running      int            `json:"running"`
+		QueueDepth   int            `json:"queue_depth"`
+		Instructions int64          `json:"instructions"`
+		FleetRuns    int            `json:"fleet_runs"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var samples []sample
+	for sc.Scan() && len(samples) < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var sm sample
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sm); err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		samples = append(samples, sm)
+	}
+	if len(samples) < 3 {
+		t.Fatalf("got %d samples, want 3 (scan err %v)", len(samples), sc.Err())
+	}
+	for i, sm := range samples {
+		if sm.T.IsZero() {
+			t.Errorf("sample %d has zero timestamp", i)
+		}
+		for _, st := range States() {
+			if _, ok := sm.States[string(st)]; !ok {
+				t.Errorf("sample %d missing state %q", i, st)
+			}
+		}
+		if sm.States["done"] != 1 || sm.FleetRuns != 1 {
+			t.Errorf("sample %d: done=%d fleet_runs=%d, want 1/1", i, sm.States["done"], sm.FleetRuns)
+		}
+		if sm.Instructions != final.Totals.Instructions {
+			t.Errorf("sample %d instructions = %d, want %d", i, sm.Instructions, final.Totals.Instructions)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"cppcache/internal/obs"
@@ -62,6 +63,17 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
+// writeBuildInfo renders the cppserved_build_info gauge: a constant-1
+// series whose labels make every scrape self-describing (which Go
+// toolchain, how many workers the box offers, where the ledger lives),
+// mirroring the machine fields BENCH_simperf.json records.
+func writeBuildInfo(w *strings.Builder, ledgerPath string) {
+	fmt.Fprintf(w, "# HELP cppserved_build_info Build and host facts as labels; value is always 1.\n# TYPE cppserved_build_info gauge\n")
+	fmt.Fprintf(w, "cppserved_build_info{go_version=\"%s\",gomaxprocs=\"%d\",num_cpu=\"%d\",ledger=\"%s\"} 1\n",
+		escapeLabel(runtime.Version()), runtime.GOMAXPROCS(0), runtime.NumCPU(),
+		escapeLabel(ledgerPath))
+}
+
 // writeMetrics renders the registry in Prometheus text exposition format
 // version 0.0.4. Each run is one labelled series per family, plus
 // per-state run counts, interval counts, and the registry's own
@@ -104,6 +116,8 @@ func writeMetrics(w *strings.Builder, runs []*Run, c Counters) {
 	fmt.Fprintf(w, "cppserved_snapshots_dropped_total %d\n", c.SnapshotsDropped)
 	fmt.Fprintf(w, "# HELP cppserved_slow_streams_disconnected_total SSE consumers disconnected for missing their write deadline.\n# TYPE cppserved_slow_streams_disconnected_total counter\n")
 	fmt.Fprintf(w, "cppserved_slow_streams_disconnected_total %d\n", c.SlowStreamsDropped)
+	fmt.Fprintf(w, "# HELP cppserved_ledger_append_errors_total Ledger appends that failed (runs themselves unaffected).\n# TYPE cppserved_ledger_append_errors_total counter\n")
+	fmt.Fprintf(w, "cppserved_ledger_append_errors_total %d\n", c.LedgerErrors)
 	fmt.Fprintf(w, "# HELP cppsim_intervals_total Metric snapshots taken.\n# TYPE cppsim_intervals_total counter\n")
 	for i, s := range samples {
 		fmt.Fprintf(w, "cppsim_intervals_total{%s} %d\n", s.labels, intervals[i])

@@ -13,6 +13,7 @@ import (
 
 	"cppcache"
 	"cppcache/internal/chaos"
+	"cppcache/internal/ledger"
 	"cppcache/internal/obs"
 	"cppcache/internal/sched"
 	"cppcache/internal/span"
@@ -189,6 +190,10 @@ type Config struct {
 	// AllowChaos accepts RunSpec.Chaos fault-injection requests. Off by
 	// default: chaos is an operator tool, not a public API.
 	AllowChaos bool
+	// Ledger, when non-nil, receives one durable record per terminal run
+	// (fsync'd append). Nil disables persistence; the in-memory fleet
+	// rollup is always maintained.
+	Ledger *ledger.Writer
 }
 
 // Admission-control and retention defaults.
@@ -218,14 +223,15 @@ func (c Config) withDefaults() Config {
 // Counters are the registry's own operational counters, exposed on
 // /metrics alongside the per-run simulation series.
 type Counters struct {
-	Running           int
-	QueueDepth        int
-	PanicsRecovered   int64
-	RunsEvicted       int64
-	RejectedQueueFull int64
-	RejectedDraining  int64
+	Running            int
+	QueueDepth         int
+	PanicsRecovered    int64
+	RunsEvicted        int64
+	RejectedQueueFull  int64
+	RejectedDraining   int64
 	SlowStreamsDropped int64
-	SnapshotsDropped  int64 // summed over retained runs plus evicted ones
+	SnapshotsDropped   int64 // summed over retained runs plus evicted ones
+	LedgerErrors       int64 // ledger appends that failed (runs unaffected)
 }
 
 // Registry launches and tracks simulation jobs under supervision: a
@@ -240,6 +246,10 @@ type Registry struct {
 	// stages aggregates span durations per stage across every run, the
 	// source of the cppserved_stage_seconds histogram family.
 	stages stageSet
+
+	// fleet is the cross-run rollup: one ledger record per terminal run,
+	// replayed records included, queryable via /fleet and cppledger.
+	fleet *ledger.Rollup
 
 	mu      sync.Mutex
 	runs    map[int]*Run
@@ -256,6 +266,7 @@ type Registry struct {
 	rejectedDrain int64
 	slowStreams   int64
 	evictedDrops  int64 // snapshot drops of evicted runs, so the counter survives eviction
+	ledgerErrors  int64 // failed ledger appends (the run itself is unaffected)
 }
 
 // NewRegistry builds an empty registry with default supervision limits. A
@@ -271,11 +282,12 @@ func NewRegistryWith(cfg Config, log *slog.Logger) *Registry {
 	}
 	cfg = cfg.withDefaults()
 	return &Registry{
-		cfg:  cfg,
-		log:  log,
-		pool: sched.NewPool(cfg.MaxRunning),
-		runs: make(map[int]*Run),
-		next: 1,
+		cfg:   cfg,
+		log:   log,
+		pool:  sched.NewPool(cfg.MaxRunning),
+		runs:  make(map[int]*Run),
+		next:  1,
+		fleet: ledger.NewRollup(),
 	}
 }
 
@@ -451,6 +463,9 @@ func (g *Registry) execute(run *Run, ctx context.Context, cancel context.CancelF
 			g.log.Error("run panicked; isolated", "run_id", run.ID, "trace_id", run.TraceID(),
 				"panic", fmt.Sprint(p), "elapsed", time.Since(start))
 		}
+		// Every execute path (done, failed, canceled, panicked) is terminal
+		// here: ledger the run before its worker slot is released.
+		g.recordTerminal(run)
 		g.onFinished()
 	}()
 
@@ -577,6 +592,7 @@ func (g *Registry) Cancel(id int, cause string) error {
 		run.endSpansLocked(run.finished)
 		run.notifyLocked()
 		run.mu.Unlock()
+		g.recordTerminal(run)
 		g.log.Info("queued run canceled", "run_id", id, "trace_id", run.TraceID(), "cause", cause)
 		return nil
 	case run.state == StateRunning:
@@ -625,6 +641,7 @@ func (g *Registry) Counters() Counters {
 		RejectedDraining:   g.rejectedDrain,
 		SlowStreamsDropped: g.slowStreams,
 		SnapshotsDropped:   g.evictedDrops,
+		LedgerErrors:       g.ledgerErrors,
 	}
 	runs := make([]*Run, 0, len(g.order))
 	for _, id := range g.order {
@@ -662,6 +679,7 @@ func (g *Registry) Drain(timeout time.Duration) bool {
 	for _, id := range queued {
 		if run, ok := g.Get(id); ok {
 			run.mu.Lock()
+			canceled := false
 			if run.state == StateQueued {
 				run.state = StateCanceled
 				run.cancelCause = "server draining"
@@ -669,10 +687,14 @@ func (g *Registry) Drain(timeout time.Duration) bool {
 				run.finished = time.Now()
 				run.endSpansLocked(run.finished)
 				run.notifyLocked()
+				canceled = true
 				g.log.Info("queued run canceled", "run_id", id, "trace_id", run.TraceID(),
 					"cause", "server draining")
 			}
 			run.mu.Unlock()
+			if canceled {
+				g.recordTerminal(run)
+			}
 		}
 	}
 

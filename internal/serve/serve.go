@@ -5,12 +5,18 @@
 // Endpoints:
 //
 //	POST   /runs               launch a job (JSON RunSpec body)
-//	GET    /runs               list runs
+//	GET    /runs               list runs (?state= filter; created-time order)
 //	GET    /runs/{id}          one run's status, totals and final result
 //	DELETE /runs/{id}          cancel a queued or running job
 //	GET    /runs/{id}/stream   SSE: replay + follow the interval snapshots
 //	GET    /runs/{id}/profile  attribution profile (text or collapsed stacks)
 //	GET    /runs/{id}/trace    run-lifecycle span tree (?format=chrome|otlp)
+//	GET    /fleet              fleet rollup over the run ledger (filters:
+//	                           workload, config, compressor, state, since,
+//	                           until, window)
+//	GET    /fleet/{dimension}  rollup collapsed onto one grouping axis
+//	GET    /dashboard          live observatory dashboard (zero-dep HTML)
+//	GET    /dashboard/stream   SSE: periodic fleet-level samples
 //	GET    /metrics            Prometheus text exposition over all runs
 //	GET    /healthz            liveness
 //	GET    /debug/pprof/...    net/http/pprof
@@ -34,10 +40,12 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"cppcache/internal/ledger"
 	"cppcache/internal/span"
 )
 
@@ -56,6 +64,10 @@ type Server struct {
 	// StreamWriteTimeout overrides DefaultStreamWriteTimeout when > 0.
 	// Tests set it tiny to exercise slow-consumer disconnection.
 	StreamWriteTimeout time.Duration
+
+	// DashboardSampleInterval overrides DefaultDashboardSampleInterval
+	// when > 0 (tests set it tiny to exercise the sample stream).
+	DashboardSampleInterval time.Duration
 }
 
 // NewServer builds the observatory handler around a registry.
@@ -71,6 +83,10 @@ func NewServer(reg *Registry, log *slog.Logger) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /fleet", s.handleFleet)
+	s.mux.HandleFunc("GET /fleet/{dimension}", s.handleFleetDim)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("GET /dashboard/stream", s.handleDashboardStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -158,13 +174,32 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(run.Status())
 }
 
-// handleList is GET /runs.
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// handleList is GET /runs. ?state= restricts to one lifecycle state
+// (unknown states are 400). The listing is deterministically ordered by
+// creation time, ties broken by run id, regardless of internal storage
+// order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	stateFilter := r.URL.Query().Get("state")
+	if stateFilter != "" && !knownState(stateFilter) {
+		jsonError(w, http.StatusBadRequest, "unknown state %q (known: %s)",
+			stateFilter, strings.Join(stateNames(), ", "))
+		return
+	}
 	runs := s.reg.Runs()
 	out := make([]RunStatus, 0, len(runs))
 	for _, run := range runs {
-		out = append(out, run.Status())
+		st := run.Status()
+		if stateFilter != "" && string(st.State) != stateFilter {
+			continue
+		}
+		out = append(out, st)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
 	writeJSON(w, out)
 }
 
@@ -255,8 +290,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
+	writeBuildInfo(&b, s.reg.LedgerPath())
 	writeMetrics(&b, s.reg.Runs(), s.reg.Counters())
 	s.reg.stages.writeProm(&b)
+	if agg, err := s.reg.FleetAggregate(ledger.Filter{}); err == nil {
+		writeFleetMetrics(&b, agg)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }

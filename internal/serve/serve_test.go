@@ -288,19 +288,19 @@ func TestLaunchValidation(t *testing.T) {
 		code int
 	}{
 		{`{"workload":"treeadd","config":"CPP","functional":true}`, http.StatusCreated},
-		{`{}`, http.StatusBadRequest},                                        // workload required
-		{`{"workload":"nope"}`, http.StatusBadRequest},                       // unknown workload
-		{`{"workload":"treeadd","config":"ZZZ"}`, http.StatusBadRequest},     // unknown config
+		{`{}`, http.StatusBadRequest},                                    // workload required
+		{`{"workload":"nope"}`, http.StatusBadRequest},                   // unknown workload
+		{`{"workload":"treeadd","config":"ZZZ"}`, http.StatusBadRequest}, // unknown config
 		{`{"workload":"treeadd","config":"BCC","compressor":"fpc","functional":true}`, http.StatusCreated},
 		{`{"workload":"treeadd","config":"BCC","compressor":"zzz"}`, http.StatusBadRequest}, // unknown scheme
 		{`{"workload":"treeadd","config":"CPP","compressor":"fpc"}`, http.StatusBadRequest}, // scheme on CPP
-		{`{"workload":"treeadd","scale":-1}`, http.StatusBadRequest},         // bad scale
-		{`{"workload":"treeadd","scale":99999}`, http.StatusBadRequest},      // absurd scale
-		{`{"workload":"treeadd","interval":-5}`, http.StatusBadRequest},      // bad interval
-		{`{"workload":"treeadd","timeout_sec":-1}`, http.StatusBadRequest},   // bad timeout
-		{`{"workload":"treeadd","timeout_sec":1e6}`, http.StatusBadRequest},  // absurd timeout
-		{`{"workload":"treeadd","chaos":{"panic_after":1}}`, http.StatusBadRequest}, // chaos disabled by default
-		{`{"workload":"treeadd","bogus":1}`, http.StatusBadRequest},          // unknown field
+		{`{"workload":"treeadd","scale":-1}`, http.StatusBadRequest},                        // bad scale
+		{`{"workload":"treeadd","scale":99999}`, http.StatusBadRequest},                     // absurd scale
+		{`{"workload":"treeadd","interval":-5}`, http.StatusBadRequest},                     // bad interval
+		{`{"workload":"treeadd","timeout_sec":-1}`, http.StatusBadRequest},                  // bad timeout
+		{`{"workload":"treeadd","timeout_sec":1e6}`, http.StatusBadRequest},                 // absurd timeout
+		{`{"workload":"treeadd","chaos":{"panic_after":1}}`, http.StatusBadRequest},         // chaos disabled by default
+		{`{"workload":"treeadd","bogus":1}`, http.StatusBadRequest},                         // unknown field
 		{`not json`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
@@ -316,10 +316,10 @@ func TestLaunchValidation(t *testing.T) {
 
 	// Spec violations carry a structured body naming the offending field.
 	fields := map[string]string{
-		`{"workload":"treeadd","scale":-1}`:                        "scale",
-		`{"workload":"treeadd","timeout_sec":-1}`:                  "timeout_sec",
-		`{"workload":"treeadd","interval":-5}`:                     "interval",
-		`{}`:                                                       "workload",
+		`{"workload":"treeadd","scale":-1}`:       "scale",
+		`{"workload":"treeadd","timeout_sec":-1}`: "timeout_sec",
+		`{"workload":"treeadd","interval":-5}`:    "interval",
+		`{}`:                                      "workload",
 		`{"workload":"treeadd","config":"BCC","compressor":"zzz"}`: "compressor",
 		`{"workload":"treeadd","config":"BC","compressor":"bdi"}`:  "compressor",
 	}
