@@ -187,7 +187,7 @@ func printAggregate(agg *ledger.Aggregate, stats ledger.ReplayStats) {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	headers := append([]string{}, agg.Dimensions...)
-	headers = append(headers, "runs", "panics", "p50 exec", "p95 exec", "p99 exec", "traffic/kinst", "specs")
+	headers = append(headers, "runs", "memo", "panics", "p50 exec", "p95 exec", "p99 exec", "traffic/kinst", "specs")
 	fmt.Fprintln(tw, strings.ToUpper(strings.Join(headers, "\t")))
 	for _, g := range agg.Groups {
 		row := make([]string, 0, len(headers))
@@ -213,7 +213,7 @@ func printAggregate(agg *ledger.Aggregate, stats ledger.ReplayStats) {
 		if g.TrafficPerKiloInst != nil {
 			traffic = fmt.Sprintf("%.1f", g.TrafficPerKiloInst.Mean)
 		}
-		row = append(row, fmt.Sprint(g.Runs), fmt.Sprint(g.Panics),
+		row = append(row, fmt.Sprint(g.Runs), fmt.Sprint(g.Memoized), fmt.Sprint(g.Panics),
 			p50, p95, p99, traffic, fmt.Sprint(g.SpecHashes))
 		fmt.Fprintln(tw, strings.Join(row, "\t"))
 	}

@@ -29,7 +29,21 @@
 // (fsync'd) to the given file, and on boot the file is replayed —
 // tolerating a torn tail from a crash mid-append — to seed the /fleet
 // rollup, so fleet history survives restarts. Without -ledger the rollup
-// is in-memory only.
+// is in-memory only. The listener comes up before the replay and /readyz
+// answers 503 until it completes, so health checks see the boot phase
+// without the process looking dead.
+//
+// -memo N enables spec-hash memoization: up to N terminal results are
+// kept in an LRU store and identical re-submitted specs are answered
+// instantly from it (POST /runs?nocache=1 bypasses it per-run). Off by
+// default — every run executes unless asked otherwise.
+//
+// Sweep fabric roles: -workers URL,URL,... makes this process a
+// coordinator that executes POST /sweeps children on those worker
+// cppserved instances with consistent-hash placement and
+// retry-on-worker-loss; -worker just labels the process as a tier member
+// in cppserved_build_info. Without either, sweeps execute on the local
+// pool.
 package main
 
 import (
@@ -42,9 +56,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cppcache/internal/fabric"
 	"cppcache/internal/ledger"
 	"cppcache/internal/serve"
 )
@@ -61,6 +77,9 @@ func main() {
 		snapRing     = flag.Int("snap-ring", serve.DefaultSnapRing, "max interval snapshots retained per run")
 		allowChaos   = flag.Bool("chaos", false, "accept seeded fault-injection specs (RunSpec \"chaos\" field)")
 		ledgerPath   = flag.String("ledger", "", "append-only run ledger file (replayed on boot; empty disables persistence)")
+		memoEntries  = flag.Int("memo", 0, "spec-hash memo store size (0 disables memoization)")
+		workerRole   = flag.Bool("worker", false, "label this process as a sweep-fabric worker in build info")
+		workerURLs   = flag.String("workers", "", "comma-separated worker cppserved URLs; makes this process a sweep coordinator")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -75,39 +94,54 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	var (
-		ledgerWriter *ledger.Writer
-		replayed     []ledger.Record
-	)
+	var ledgerWriter *ledger.Writer
 	if *ledgerPath != "" {
-		recs, stats, err := ledger.Replay(*ledgerPath)
-		if err != nil {
-			log.Error("ledger replay", "path", *ledgerPath, "err", err)
-			os.Exit(1)
-		}
-		if stats.Skipped > 0 {
-			log.Warn("ledger replay skipped damaged records", "path", *ledgerPath,
-				"skipped", stats.Skipped, "kept", len(recs))
-		}
-		replayed = recs
+		var err error
 		ledgerWriter, err = ledger.OpenWriter(*ledgerPath)
 		if err != nil {
 			log.Error("ledger open", "path", *ledgerPath, "err", err)
 			os.Exit(1)
 		}
 		defer ledgerWriter.Close()
-		log.Info("ledger open", "path", *ledgerPath, "replayed_records", len(recs))
+	}
+
+	var (
+		fab  *fabric.Coordinator
+		role string
+	)
+	if *workerURLs != "" {
+		var err error
+		fab, err = fabric.New(fabric.Config{
+			Workers: strings.Split(*workerURLs, ","),
+			Log:     log,
+		})
+		if err != nil {
+			log.Error("fabric", "workers", *workerURLs, "err", err)
+			os.Exit(1)
+		}
+		defer fab.Close()
+		log.Info("sweep fabric coordinator", "workers", fab.WorkerCount())
+	} else if *workerRole {
+		role = "worker"
 	}
 
 	reg := serve.NewRegistryWith(serve.Config{
-		MaxRunning: *maxRuns,
-		MaxQueue:   *maxQueue,
-		Retain:     *retain,
-		SnapRing:   *snapRing,
-		AllowChaos: *allowChaos,
-		Ledger:     ledgerWriter,
+		MaxRunning:  *maxRuns,
+		MaxQueue:    *maxQueue,
+		Retain:      *retain,
+		SnapRing:    *snapRing,
+		AllowChaos:  *allowChaos,
+		Ledger:      ledgerWriter,
+		MemoEntries: *memoEntries,
+		Fabric:      fab,
+		Role:        role,
 	}, log)
-	reg.SeedFleet(replayed)
+	if *ledgerPath != "" {
+		// The listener comes up before the boot replay; /readyz answers 503
+		// until SeedFleet completes so probes and the fabric route around
+		// the booting process instead of declaring it dead.
+		reg.SetReady(false)
+	}
 	srv := &http.Server{
 		Handler: serve.NewServer(reg, log),
 		// Slow-loris hardening: bound header and body read times and idle
@@ -137,6 +171,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// Boot replay, after the listener is already answering: /healthz says
+	// live, /readyz says 503 booting. The replay tolerates a torn tail; a
+	// run racing it to completion is vanishingly unlikely (replay is
+	// milliseconds, simulations are not) and at worst double-counts that
+	// one record in the in-memory rollup until restart.
+	if *ledgerPath != "" {
+		recs, stats, err := ledger.Replay(*ledgerPath)
+		if err != nil {
+			log.Error("ledger replay", "path", *ledgerPath, "err", err)
+			os.Exit(1)
+		}
+		if stats.Skipped > 0 {
+			log.Warn("ledger replay skipped damaged records", "path", *ledgerPath,
+				"skipped", stats.Skipped, "kept", len(recs))
+		}
+		reg.SeedFleet(recs)
+		reg.SetReady(true)
+		log.Info("ledger replayed; ready", "path", *ledgerPath, "replayed_records", len(recs))
+	}
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,139 @@
+// Package backoff is a small jittered-exponential-backoff helper shared
+// by everything in the system that retries: the sweep fabric's worker
+// placement, the sweep engine's admission retries, and the HTTP layer's
+// reconnect advice (Retry-After on 503, SSE retry hints).
+//
+// Two layers:
+//
+//   - Policy is the pure schedule: Delay(attempt) is the deterministic
+//     (jitter-free) exponential delay, capped. It never allocates and is
+//     safe to share.
+//   - Backoff is one retry loop's mutable state: Next() walks the
+//     schedule applying seeded jitter, Reset() snaps back to the first
+//     attempt after a success. Seeded construction makes retry timing
+//     reproducible in tests.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes an exponential backoff schedule.
+type Policy struct {
+	// Base is the attempt-1 delay. 0 means DefaultPolicy.Base.
+	Base time.Duration
+	// Cap bounds every delay. 0 means DefaultPolicy.Cap.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier. 0 means
+	// DefaultPolicy.Factor; values below 1 are treated as 1 (no growth).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1].
+	// A jittered delay is drawn uniformly from
+	// [(1-Jitter)*delay, delay], so retries de-synchronise without ever
+	// exceeding the deterministic schedule. Negative means
+	// DefaultPolicy.Jitter; 0 disables jitter (set it explicitly).
+	Jitter float64
+}
+
+// DefaultPolicy is the schedule used when a Policy field is zero: first
+// retry after 100ms, doubling to a 5s cap, with the upper half of each
+// delay randomized.
+var DefaultPolicy = Policy{
+	Base:   100 * time.Millisecond,
+	Cap:    5 * time.Second,
+	Factor: 2,
+	Jitter: 0.5,
+}
+
+// withDefaults fills zero fields from DefaultPolicy.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultPolicy.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultPolicy.Cap
+	}
+	if p.Factor == 0 {
+		p.Factor = DefaultPolicy.Factor
+	}
+	if p.Factor < 1 {
+		p.Factor = 1
+	}
+	if p.Jitter < 0 {
+		p.Jitter = DefaultPolicy.Jitter
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the deterministic (jitter-free) delay for the 1-based
+// attempt: min(Cap, Base*Factor^(attempt-1)). Attempts below 1 are
+// treated as 1. This is what HTTP handlers use for Retry-After advice,
+// where reproducibility matters more than de-synchronisation.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Cap) {
+			return p.Cap
+		}
+	}
+	if d > float64(p.Cap) {
+		return p.Cap
+	}
+	return time.Duration(d)
+}
+
+// RetryAfterSeconds renders the attempt-1 delay as a whole-second
+// Retry-After value (minimum 1, since zero seconds reads as "now").
+func (p Policy) RetryAfterSeconds() int {
+	secs := int((p.Delay(1) + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Backoff is one retry loop's state: successive Next() calls walk the
+// policy's schedule with seeded jitter. Not safe for concurrent use; each
+// retry loop owns its own Backoff.
+type Backoff struct {
+	policy  Policy
+	rng     *rand.Rand
+	attempt int
+}
+
+// New builds a Backoff over p (zero fields defaulted) with a seeded
+// jitter source, so retry timing is reproducible for a fixed seed.
+func New(p Policy, seed int64) *Backoff {
+	return &Backoff{policy: p.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to sleep before the next retry and advances the
+// attempt counter. The returned delay d satisfies
+// (1-Jitter)*Delay(n) <= d <= Delay(n) <= Cap for the n-th call since the
+// last Reset.
+func (b *Backoff) Next() time.Duration {
+	b.attempt++
+	d := b.policy.Delay(b.attempt)
+	if b.policy.Jitter <= 0 {
+		return d
+	}
+	spread := float64(d) * b.policy.Jitter
+	return d - time.Duration(b.rng.Float64()*spread)
+}
+
+// Reset snaps the schedule back to the first attempt. Call it after a
+// success so the next failure starts from Base again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt reports how many Next() calls have happened since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

@@ -1,0 +1,129 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesThenCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // 6400ms clamped
+		5 * time.Second, // stays at cap
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempts below 1 behave like attempt 1.
+	if got := p.Delay(0); got != want[0] {
+		t.Errorf("Delay(0) = %v, want %v", got, want[0])
+	}
+	if got := p.Delay(-3); got != want[0] {
+		t.Errorf("Delay(-3) = %v, want %v", got, want[0])
+	}
+}
+
+func TestDelayCapBoundsHugeAttempts(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: time.Second, Factor: 10, Jitter: 0}
+	// 10^999 overflows float64 into +Inf without the early clamp; the cap
+	// must still hold.
+	if got := p.Delay(1000); got != time.Second {
+		t.Fatalf("Delay(1000) = %v, want cap %v", got, time.Second)
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(1); got != DefaultPolicy.Base {
+		t.Errorf("zero policy Delay(1) = %v, want default base %v", got, DefaultPolicy.Base)
+	}
+	if got := p.Delay(100); got != DefaultPolicy.Cap {
+		t.Errorf("zero policy Delay(100) = %v, want default cap %v", got, DefaultPolicy.Cap)
+	}
+}
+
+func TestNextJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0.5}
+	b := New(p, 42)
+	for round := 0; round < 200; round++ {
+		b.Reset()
+		for attempt := 1; attempt <= 8; attempt++ {
+			d := b.Next()
+			det := p.Delay(attempt)
+			lo := time.Duration(float64(det) * (1 - p.Jitter))
+			if d < lo || d > det {
+				t.Fatalf("round %d attempt %d: jittered delay %v outside [%v, %v]",
+					round, attempt, d, lo, det)
+			}
+		}
+	}
+}
+
+func TestNextWithoutJitterIsDeterministic(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0}
+	b := New(p, 1)
+	for attempt := 1; attempt <= 6; attempt++ {
+		if got, want := b.Next(), p.Delay(attempt); got != want {
+			t.Errorf("attempt %d: Next() = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+func TestResetSnapsBackToBase(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0}
+	b := New(p, 7)
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 5 {
+		t.Fatalf("Attempt() = %d, want 5", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", b.Attempt())
+	}
+	if got := b.Next(); got != p.Delay(1) {
+		t.Errorf("first Next() after Reset = %v, want base %v", got, p.Delay(1))
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	p := Policy{Jitter: 0.5}
+	a, b := New(p, 1234), New(p, 1234)
+	for i := 0; i < 20; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i+1, da, db)
+		}
+	}
+	// A different seed should diverge somewhere in 20 draws.
+	c := New(p, 99)
+	a.Reset()
+	diverged := false
+	for i := 0; i < 20; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical 20-draw schedules")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	if got := (Policy{Base: 100 * time.Millisecond}).RetryAfterSeconds(); got != 1 {
+		t.Errorf("sub-second base: RetryAfterSeconds = %d, want 1", got)
+	}
+	if got := (Policy{Base: 2500 * time.Millisecond, Cap: 10 * time.Second}).RetryAfterSeconds(); got != 3 {
+		t.Errorf("2.5s base: RetryAfterSeconds = %d, want 3 (rounded up)", got)
+	}
+}

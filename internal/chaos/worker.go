@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerSpec configures deterministic disruption of a worker node's HTTP
+// surface, the fabric-tier counterpart of Spec's simulator faults.
+// Trigger counts are 1-based request ordinals across every request the
+// worker receives; zero triggers never fire.
+type WorkerSpec struct {
+	// KillAfter makes the worker drop connections (the client sees an
+	// abrupt EOF, exactly what a kill -9 of the process produces) from the
+	// Nth request onward. Unlike the simulator faults a kill is sticky:
+	// once dead the worker never answers again.
+	KillAfter int64 `json:"kill_after,omitempty"`
+	// StallAfter delays the Nth request's response by StallMs
+	// milliseconds, long enough to trip per-attempt timeouts.
+	StallAfter int64 `json:"stall_after,omitempty"`
+	StallMs    int   `json:"stall_ms,omitempty"`
+}
+
+// Active reports whether any trigger can fire.
+func (s WorkerSpec) Active() bool { return s.KillAfter > 0 || s.StallAfter > 0 }
+
+// Validate rejects out-of-range fields.
+func (s WorkerSpec) Validate() error {
+	switch {
+	case s.KillAfter < 0 || s.StallAfter < 0:
+		return fmt.Errorf("chaos: worker trigger ordinals must be non-negative")
+	case s.StallMs < 0:
+		return fmt.Errorf("chaos: worker stall_ms must be non-negative")
+	case s.StallMs > MaxStallMs:
+		return fmt.Errorf("chaos: worker stall_ms %d exceeds the %d ms cap", s.StallMs, MaxStallMs)
+	case s.StallAfter > 0 && s.StallMs == 0:
+		return fmt.Errorf("chaos: worker stall_after set without stall_ms")
+	}
+	return nil
+}
+
+// WorkerDisruptor wraps a worker's HTTP handler and fires a WorkerSpec's
+// faults at deterministic request ordinals. Kill() flips the worker dead
+// out-of-band, for tests that want to murder a worker at a point chosen
+// by the test rather than by request count.
+type WorkerDisruptor struct {
+	spec WorkerSpec
+
+	requests atomic.Int64
+	dead     atomic.Bool
+
+	mu    sync.Mutex
+	fired []string
+}
+
+// NewWorkerDisruptor builds a disruptor for spec (which should already
+// have been Validated).
+func NewWorkerDisruptor(spec WorkerSpec) *WorkerDisruptor {
+	return &WorkerDisruptor{spec: spec}
+}
+
+// Wrap returns next decorated with the disruptor's faults. A dead worker
+// aborts every request with http.ErrAbortHandler, which makes net/http
+// sever the connection mid-response — the client observes the same
+// "connection reset / unexpected EOF" failure mode as a kill -9 of the
+// worker process, without taking down the test's process.
+func (d *WorkerDisruptor) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := d.requests.Add(1)
+		if d.spec.KillAfter > 0 && n >= d.spec.KillAfter {
+			d.dead.Store(true)
+		}
+		if d.dead.Load() {
+			d.record(fmt.Sprintf("kill@%s#%d", r.URL.Path, n))
+			panic(http.ErrAbortHandler)
+		}
+		if n == d.spec.StallAfter && d.spec.StallMs > 0 {
+			d.record(fmt.Sprintf("stall@%s#%d", r.URL.Path, n))
+			select {
+			case <-time.After(time.Duration(d.spec.StallMs) * time.Millisecond):
+			case <-r.Context().Done():
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Kill marks the worker dead immediately; every subsequent request is
+// severed.
+func (d *WorkerDisruptor) Kill() { d.dead.Store(true) }
+
+// Revive brings a killed worker back, for tests exercising recovery.
+func (d *WorkerDisruptor) Revive() { d.dead.Store(false) }
+
+// Dead reports whether the worker is currently severing requests.
+func (d *WorkerDisruptor) Dead() bool { return d.dead.Load() }
+
+// Requests returns how many requests the worker has received (including
+// severed ones).
+func (d *WorkerDisruptor) Requests() int64 { return d.requests.Load() }
+
+func (d *WorkerDisruptor) record(what string) {
+	d.mu.Lock()
+	d.fired = append(d.fired, what)
+	d.mu.Unlock()
+}
+
+// Fired returns a copy of the fired-action log, in firing order.
+func (d *WorkerDisruptor) Fired() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.fired...)
+}

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWorkerSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec WorkerSpec
+		ok   bool
+	}{
+		{"zero", WorkerSpec{}, true},
+		{"kill", WorkerSpec{KillAfter: 3}, true},
+		{"stall", WorkerSpec{StallAfter: 1, StallMs: 10}, true},
+		{"negative kill", WorkerSpec{KillAfter: -1}, false},
+		{"negative stall ms", WorkerSpec{StallAfter: 1, StallMs: -5}, false},
+		{"stall without ms", WorkerSpec{StallAfter: 2}, false},
+		{"stall too long", WorkerSpec{StallAfter: 1, StallMs: MaxStallMs + 1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+	if (WorkerSpec{}).Active() {
+		t.Error("zero WorkerSpec reports Active")
+	}
+	if !(WorkerSpec{KillAfter: 1}).Active() {
+		t.Error("kill spec reports inactive")
+	}
+}
+
+func TestWorkerDisruptorKillSeversConnection(t *testing.T) {
+	d := NewWorkerDisruptor(WorkerSpec{KillAfter: 3})
+	ts := httptest.NewServer(d.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "alive")
+	})))
+	defer ts.Close()
+
+	// Keep-alives off: the stdlib client silently retries an idempotent GET
+	// whose reused connection dies, which would double-count requests.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+
+	for i := 1; i <= 2; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d before kill point failed: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "alive" {
+			t.Fatalf("request %d: body %q, want %q", i, body, "alive")
+		}
+	}
+
+	// From the kill point on, every request must fail like a dead process:
+	// a transport-level error, never an HTTP status.
+	for i := 3; i <= 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d after kill point got status %d, want connection error", i, resp.StatusCode)
+		}
+	}
+	if !d.Dead() {
+		t.Error("disruptor not marked dead after kill fired")
+	}
+	if got := d.Requests(); got != 5 {
+		t.Errorf("Requests() = %d, want 5", got)
+	}
+	fired := d.Fired()
+	if len(fired) != 3 {
+		t.Fatalf("Fired() = %v, want 3 kill records", fired)
+	}
+	if !strings.HasPrefix(fired[0], "kill@") {
+		t.Errorf("fired[0] = %q, want kill@ prefix", fired[0])
+	}
+}
+
+func TestWorkerDisruptorOutOfBandKill(t *testing.T) {
+	d := NewWorkerDisruptor(WorkerSpec{})
+	ts := httptest.NewServer(d.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "alive")
+	})))
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatalf("pre-kill request failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	d.Kill()
+	resp, err := http.Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("post-Kill request got status %d, want connection error", resp.StatusCode)
+	}
+
+	d.Revive()
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("post-Revive request failed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-Revive status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,6 +1,9 @@
 package ledger
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 // specFixture mirrors serve.RunSpec's JSON shape without importing serve
 // (serve imports ledger). The golden hashes below are what any process,
@@ -118,5 +121,45 @@ func TestResultDigestDeterminism(t *testing.T) {
 	}
 	if len(a) != 64 {
 		t.Errorf("digest is not sha256 hex: %q", a)
+	}
+}
+
+// TestResultDigestRawStructEquivalence pins the property the sweep
+// fabric's digest comparison rests on: digesting a result struct and
+// digesting its marshalled JSON (as received over HTTP from a worker)
+// produce the same hash, because Canonical re-parses with UseNumber and
+// re-marshals with sorted keys either way. If this ever breaks, the
+// coordinator's kill-vs-control table comparison breaks with it.
+func TestResultDigestRawStructEquivalence(t *testing.T) {
+	type result struct {
+		Benchmark string  `json:"benchmark"`
+		L1Misses  int64   `json:"l1_misses"`
+		Traffic   float64 `json:"traffic"`
+		IPC       float64 `json:"ipc"`
+	}
+	res := result{"olden.mst", 123, 4567.25, 0.731}
+	fromStruct, err := ResultDigest(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRaw, err := ResultDigest(json.RawMessage(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStruct != fromRaw {
+		t.Fatalf("digest(struct) %s != digest(raw JSON) %s", fromStruct, fromRaw)
+	}
+	// Key order in the wire JSON must not matter either.
+	reordered := []byte(`{"traffic":4567.25,"l1_misses":123,"ipc":0.731,"benchmark":"olden.mst"}`)
+	fromReordered, err := ResultDigest(json.RawMessage(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromReordered != fromStruct {
+		t.Fatalf("digest(reordered raw) %s != digest(struct) %s", fromReordered, fromStruct)
 	}
 }

@@ -58,6 +58,13 @@ type Record struct {
 	Panic bool   `json:"panic,omitempty"`
 	Error string `json:"error,omitempty"`
 
+	// Memoized marks a run served from the memo store instead of being
+	// executed; MemoSource is the run ID whose result it replayed. Memoized
+	// records are never themselves memo sources (the chain always points at
+	// a real execution).
+	Memoized   bool `json:"memoized,omitempty"`
+	MemoSource int  `json:"memo_source,omitempty"`
+
 	Created    time.Time `json:"created"`
 	Finished   time.Time `json:"finished"`
 	GoMaxProcs int       `json:"gomaxprocs,omitempty"`

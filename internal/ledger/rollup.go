@@ -198,6 +198,7 @@ type Group struct {
 	Runs         int64   `json:"runs"`
 	Panics       int64   `json:"panics,omitempty"`
 	ChaosRuns    int64   `json:"chaos_runs,omitempty"`
+	Memoized     int64   `json:"memoized,omitempty"`
 	Intervals    int64   `json:"intervals"`
 	Instructions int64   `json:"instructions"`
 	L1Misses     int64   `json:"l1_misses"`
@@ -292,6 +293,9 @@ func (ro *Rollup) Aggregate(f Filter, dims ...string) (*Aggregate, error) {
 		}
 		if r.Chaos {
 			g.ChaosRuns++
+		}
+		if r.Memoized {
+			g.Memoized++
 		}
 		g.Intervals += int64(r.Intervals)
 		g.Instructions += r.Instructions

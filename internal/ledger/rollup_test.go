@@ -159,6 +159,123 @@ func TestAggregateFiltersAndWindow(t *testing.T) {
 	}
 }
 
+// TestAggregateZeroWidthWindow pins the boundary semantics of the time
+// filter: Since is inclusive, Until exclusive, so a window where
+// since == until is empty — not an error, not a one-instant match, even
+// when a record's Finished sits exactly on the boundary.
+func TestAggregateZeroWidthWindow(t *testing.T) {
+	ro := NewRollup()
+	ro.AddAll(fleetFixture())
+	base := time.Unix(1700000000, 0).UTC()
+
+	// Record 3 finishes exactly at base+3m.
+	at := base.Add(3 * time.Minute)
+	agg, err := ro.Aggregate(Filter{Since: at, Until: at})
+	if err != nil {
+		t.Fatalf("zero-width window errored: %v", err)
+	}
+	if agg.TotalRuns != 0 {
+		t.Errorf("zero-width window matched %d runs, want 0", agg.TotalRuns)
+	}
+	if len(agg.Groups) != 0 {
+		t.Errorf("zero-width window produced %d groups, want 0", len(agg.Groups))
+	}
+
+	// Widening until by one nanosecond admits exactly the boundary record.
+	agg, err = ro.Aggregate(Filter{Since: at, Until: at.Add(time.Nanosecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TotalRuns != 1 {
+		t.Errorf("nanosecond window matched %d runs, want exactly the boundary record", agg.TotalRuns)
+	}
+
+	// An inverted window (until before since) is likewise empty, not an
+	// error — the filter is a pure predicate.
+	agg, err = ro.Aggregate(Filter{Since: at, Until: at.Add(-time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TotalRuns != 0 {
+		t.Errorf("inverted window matched %d runs, want 0", agg.TotalRuns)
+	}
+}
+
+// TestAggregateUnknownStateCounted guards the replay path against
+// silently dropping records written by a newer (or corrupted) server
+// whose state vocabulary we don't recognise: an unknown state string must
+// flow through aggregation as its own group, keeping conservation exact.
+func TestAggregateUnknownStateCounted(t *testing.T) {
+	ro := NewRollup()
+	ro.AddAll(fleetFixture())
+	ro.Add(Record{
+		RunID: 99, TraceID: "trace-99", SpecHash: "hash-future",
+		Workload: "olden.mst", Config: "CPP", Compressor: "paper",
+		State:        "suspended", // not a state this version ever writes
+		Finished:     time.Unix(1700000000, 0).UTC().Add(10 * time.Minute),
+		Instructions: 77, Intervals: 1,
+	})
+
+	agg, err := ro.Aggregate(Filter{}, "state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TotalRuns != 6 {
+		t.Fatalf("TotalRuns = %d, want 6 (unknown-state record dropped?)", agg.TotalRuns)
+	}
+	var found *Group
+	var runSum, instSum int64
+	for _, g := range agg.Groups {
+		runSum += g.Runs
+		instSum += g.Instructions
+		if g.State == "suspended" {
+			found = g
+		}
+	}
+	if found == nil {
+		t.Fatal("unknown state 'suspended' has no group — record was dropped silently")
+	}
+	if found.Runs != 1 || found.Instructions != 77 {
+		t.Errorf("suspended group = %d runs / %d insts, want 1 / 77", found.Runs, found.Instructions)
+	}
+	if runSum != 6 || instSum != 3400+77 {
+		t.Errorf("conservation broken with unknown state: runs=%d insts=%d", runSum, instSum)
+	}
+
+	// Filtering by the unknown state string also works: the filter is a
+	// string match, not an enum check.
+	agg, err = ro.Aggregate(Filter{State: "suspended"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TotalRuns != 1 {
+		t.Errorf("State filter for unknown state matched %d, want 1", agg.TotalRuns)
+	}
+}
+
+// TestAggregateMemoizedCount: memoized members are tallied per group.
+func TestAggregateMemoizedCount(t *testing.T) {
+	ro := NewRollup()
+	recs := fleetFixture()
+	recs[1].Memoized = true
+	recs[1].MemoSource = recs[0].RunID
+	ro.AddAll(recs)
+
+	agg, err := ro.Aggregate(Filter{}, "workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mst *Group
+	for _, g := range agg.Groups {
+		if g.Workload == "olden.mst" {
+			mst = g
+		}
+	}
+	if mst == nil || mst.Memoized != 1 {
+		t.Fatalf("olden.mst memoized count = %+v, want 1", mst)
+	}
+}
+
 func TestStageQuantilesAndExemplars(t *testing.T) {
 	ro := NewRollup()
 	// 100 runs: 99 fast executes (~1ms) and one slow outlier (~900ms).

@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
+
+	"cppcache/internal/backoff"
 )
 
 // DefaultDashboardSampleInterval is the cadence of /dashboard/stream
 // samples when the Server does not override it.
 const DefaultDashboardSampleInterval = time.Second
+
+// DefaultDashboardRing bounds the retained dashboard samples (~6 min at
+// the default cadence): enough for an SSE reconnect to resume seamlessly,
+// bounded so an idle server never grows.
+const DefaultDashboardRing = 360
 
 // dashSample is one periodic fleet-level observation pushed over
 // /dashboard/stream. Instructions and traffic are cumulative sums over the
@@ -25,6 +34,10 @@ type dashSample struct {
 	TrafficWords float64        `json:"traffic_words"`
 	FleetRuns    int            `json:"fleet_runs"`
 	LedgerErrors int64          `json:"ledger_errors"`
+	MemoHits     int64          `json:"memo_hits"`
+	MemoMisses   int64          `json:"memo_misses"`
+	SweepsActive int            `json:"sweeps_active"`
+	SweepsTotal  int            `json:"sweeps_total"`
 }
 
 // sampleFleet takes one dashboard sample from the registry.
@@ -37,6 +50,8 @@ func (s *Server) sampleFleet() dashSample {
 		QueueDepth:   c.QueueDepth,
 		FleetRuns:    s.reg.fleetLen(),
 		LedgerErrors: c.LedgerErrors,
+		MemoHits:     c.MemoHits,
+		MemoMisses:   c.MemoMisses,
 	}
 	for _, st := range States() {
 		sm.States[string(st)] = 0
@@ -47,7 +62,110 @@ func (s *Server) sampleFleet() dashSample {
 		sm.Instructions += st.Totals.Instructions
 		sm.TrafficWords += st.Totals.TrafficWords()
 	}
+	for _, sw := range s.reg.Sweeps() {
+		sm.SweepsTotal++
+		if !sw.terminal() {
+			sm.SweepsActive++
+		}
+	}
 	return sm
+}
+
+// dashSampler is the shared sample feed behind /dashboard/stream. Samples
+// carry global ordinals (SSE event ids) and live in a bounded ring, so a
+// client reconnecting with Last-Event-ID resumes exactly where it left
+// off — or gets an explicit gap event when the ring has dropped its
+// prefix, mirroring the per-run stream's gap accounting. The sampling
+// goroutine runs only while at least one subscriber is connected; the
+// ring and its base ordinal survive idle periods so ordinals never move
+// backwards within a server's lifetime.
+type dashSampler struct {
+	s *Server
+
+	mu      sync.Mutex
+	ring    []dashSample
+	base    int // ordinal of ring[0]
+	subs    int
+	changed chan struct{}
+	stop    chan struct{} // non-nil while the sampling goroutine runs
+}
+
+func newDashSampler(s *Server) *dashSampler {
+	return &dashSampler{s: s, changed: make(chan struct{})}
+}
+
+// subscribe registers a consumer, starting the sampling goroutine on the
+// first one.
+func (d *dashSampler) subscribe() {
+	d.mu.Lock()
+	d.subs++
+	if d.subs == 1 {
+		d.stop = make(chan struct{})
+		go d.run(d.stop)
+	}
+	d.mu.Unlock()
+}
+
+// unsubscribe deregisters a consumer, stopping the sampling goroutine
+// with the last one.
+func (d *dashSampler) unsubscribe() {
+	d.mu.Lock()
+	d.subs--
+	if d.subs == 0 && d.stop != nil {
+		close(d.stop)
+		d.stop = nil
+	}
+	d.mu.Unlock()
+}
+
+// run samples immediately (so a fresh subscriber sees data without
+// waiting a full interval), then on every tick until stopped.
+func (d *dashSampler) run(stop chan struct{}) {
+	tick := time.NewTicker(d.s.dashboardSampleInterval())
+	defer tick.Stop()
+	d.append(d.s.sampleFleet())
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			d.append(d.s.sampleFleet())
+		}
+	}
+}
+
+func (d *dashSampler) append(sm dashSample) {
+	max := d.s.dashboardRing()
+	d.mu.Lock()
+	d.ring = append(d.ring, sm)
+	for len(d.ring) > max {
+		d.ring = d.ring[1:]
+		d.base++
+	}
+	close(d.changed)
+	d.changed = make(chan struct{})
+	d.mu.Unlock()
+}
+
+// from returns a copy of the retained samples at ordinal next and later,
+// the ordinal the copy actually starts at (greater than next when the
+// ring dropped the requested prefix; clamped back to the head when next
+// is beyond anything published, e.g. a Last-Event-ID from a previous
+// server life), and a channel closed on the next append.
+func (d *dashSampler) from(next int) (samples []dashSample, from int, changed <-chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	from = next
+	if from < d.base {
+		from = d.base
+	}
+	if head := d.base + len(d.ring); from > head {
+		from = head
+	}
+	if idx := from - d.base; idx < len(d.ring) {
+		samples = append([]dashSample(nil), d.ring[idx:]...)
+	}
+	return samples, from, d.changed
 }
 
 // fleetLen returns how many terminal records the fleet rollup holds.
@@ -61,39 +179,92 @@ func (s *Server) dashboardSampleInterval() time.Duration {
 	return DefaultDashboardSampleInterval
 }
 
+// dashboardRing returns the sample-ring bound in effect.
+func (s *Server) dashboardRing() int {
+	if s.DashboardRing > 0 {
+		return s.DashboardRing
+	}
+	return DefaultDashboardRing
+}
+
 // handleDashboardStream is GET /dashboard/stream: server-sent events
 // carrying one fleet-level sample per interval (run counts by state, queue
-// depth, cumulative instruction and traffic sums, ledger size). Like the
-// per-run stream, every write runs under a deadline and a consumer that
-// cannot keep up is disconnected and counted rather than parking the
-// handler goroutine.
+// depth, cumulative instruction and traffic sums, ledger size, memo hits,
+// active sweeps). Event ids are global sample ordinals from the shared
+// sampler ring, so a client reconnecting with Last-Event-ID resumes
+// without re-receiving samples it already has — and receives an explicit
+// "gap" event when the bounded ring has dropped its requested prefix,
+// exactly like the per-run snapshot stream. Every write runs under a
+// deadline and a consumer that cannot keep up is disconnected and counted
+// rather than parking the handler goroutine.
 func (s *Server) handleDashboardStream(w http.ResponseWriter, r *http.Request) {
+	next := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if id, err := strconv.Atoi(v); err == nil && id >= 0 {
+			next = id + 1
+		}
+	}
 	fl, canFlush := w.(http.Flusher)
 	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
-	tick := time.NewTicker(s.dashboardSampleInterval())
-	defer tick.Stop()
-	id := 0
-	for {
-		data, err := json.Marshal(s.sampleFleet())
-		if err != nil {
-			return
-		}
+	s.dash.subscribe()
+	defer s.dash.unsubscribe()
+
+	push := func(emit func() error) bool {
 		rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout()))
-		if _, err := fmt.Fprintf(w, "id: %d\nevent: sample\ndata: %s\n\n", id, data); err != nil {
+		if err := emit(); err != nil {
 			s.reg.CountSlowStream()
 			s.log.Warn("slow dashboard consumer disconnected", "err", err)
-			return
+			return false
 		}
 		if canFlush {
 			fl.Flush()
 		}
-		id++
+		return true
+	}
+
+	if !push(func() error {
+		_, err := fmt.Fprintf(w, "retry: %d\n\n", backoff.DefaultPolicy.Delay(1).Milliseconds())
+		return err
+	}) {
+		return
+	}
+
+	for {
+		samples, from, changed := s.dash.from(next)
+		if from > next {
+			if !push(func() error {
+				_, err := fmt.Fprintf(w, "event: gap\ndata: {\"from\":%d,\"resumed\":%d,\"dropped\":%d}\n\n",
+					next, from, from-next)
+				return err
+			}) {
+				return
+			}
+		}
+		// Adopt the sampler's ordinal in both directions: forward past a
+		// ring-dropped prefix (the gap above), or backward when the client's
+		// Last-Event-ID is beyond anything published (stale id from a
+		// previous server life).
+		next = from
+		for _, sm := range samples {
+			data, err := json.Marshal(sm)
+			if err != nil {
+				return
+			}
+			id := next
+			if !push(func() error {
+				_, err := fmt.Fprintf(w, "id: %d\nevent: sample\ndata: %s\n\n", id, data)
+				return err
+			}) {
+				return
+			}
+			next++
+		}
 		select {
-		case <-tick.C:
+		case <-changed:
 		case <-r.Context().Done():
 			return
 		}
@@ -187,6 +358,8 @@ tr:last-child td { border-bottom: 0; }
   <div class="tile"><div class="v" id="t-done">&ndash;</div><div class="k">done</div></div>
   <div class="tile"><div class="v" id="t-failed">&ndash;</div><div class="k">failed</div></div>
   <div class="tile"><div class="v" id="t-fleet">&ndash;</div><div class="k">ledger runs</div></div>
+  <div class="tile"><div class="v" id="t-memo">&ndash;</div><div class="k">memo hits</div></div>
+  <div class="tile"><div class="v" id="t-sweeps">&ndash;</div><div class="k">active sweeps</div></div>
   <div class="tile"><div class="v" id="t-lederr">&ndash;</div><div class="k">ledger errors</div></div>
 </div>
 
@@ -203,7 +376,24 @@ tr:last-child td { border-bottom: 0; }
     <svg viewBox="0 0 600 72" preserveAspectRatio="none" aria-label="queue depth sparkline"></svg>
     <div class="tip"></div>
   </div>
+  <div class="chart" id="c-memo">
+    <span class="now" id="memo-now"></span>
+    <h2>Memo hits (cumulative)</h2>
+    <svg viewBox="0 0 600 72" preserveAspectRatio="none" aria-label="memo hit sparkline"></svg>
+    <div class="tip"></div>
+  </div>
 </div>
+
+<section>
+  <h2>Sweeps</h2>
+  <table id="sweeps">
+    <thead><tr>
+      <th class="n">id</th><th>state</th><th class="n">done</th><th class="n">total</th>
+      <th class="n">memoized</th><th>degraded</th>
+    </tr></thead>
+    <tbody><tr><td colspan="6" class="empty">no sweeps yet</td></tr></tbody>
+  </table>
+</section>
 
 <section>
   <h2>Fleet rollup</h2>
@@ -306,6 +496,8 @@ tr:last-child td { border-bottom: 0; }
     text("t-done", sm.states.done || 0);
     text("t-failed", (sm.states.failed || 0) + (sm.states.canceled || 0));
     text("t-fleet", sm.fleet_runs);
+    text("t-memo", sm.memo_hits || 0);
+    text("t-sweeps", sm.sweeps_active || 0);
     var el = document.getElementById("t-lederr");
     el.textContent = sm.ledger_errors;
     el.className = sm.ledger_errors > 0 ? "v err" : "v";
@@ -313,20 +505,23 @@ tr:last-child td { border-bottom: 0; }
     // Throughput differentiates the cumulative traffic-word sum, which
     // both pipeline and functional runs account (instruction counts exist
     // only in pipeline mode, so they would flatline for functional runs).
-    var thru = [], queue = [];
+    var thru = [], queue = [], memo = [];
     for (var i = 1; i < samples.length; i++) {
       var a = samples[i - 1], b = samples[i];
       var dt = (new Date(b.t) - new Date(a.t)) / 1000;
       var rate = dt > 0 ? Math.max(0, (b.traffic_words - a.traffic_words) / dt) : 0;
       thru.push({ t: new Date(b.t), v: rate });
       queue.push({ t: new Date(b.t), v: b.queue_depth });
+      memo.push({ t: new Date(b.t), v: b.memo_hits || 0 });
     }
     if (thru.length) {
       text("thru-now", fmt(thru[thru.length - 1].v) + "/s");
       text("queue-now", String(queue[queue.length - 1].v));
+      text("memo-now", String(memo[memo.length - 1].v));
     }
     spark("c-thru", thru, "var(--s1)", "words/s");
     spark("c-queue", queue, "var(--s2)", "queued");
+    spark("c-memo", memo, "var(--s1)", "hits");
   }
 
   function traceLink(id, traceId) {
@@ -377,9 +572,26 @@ tr:last-child td { border-bottom: 0; }
     document.querySelector("#runs tbody").innerHTML = rows;
   }
 
+  function renderSweeps(list) {
+    var rows = "";
+    for (var i = 0; i < list.length && i < 20; i++) {
+      var sw = list[i];
+      var done = (sw.counts && sw.counts.done) || 0;
+      rows += "<tr><td class=\"n\"><a href=\"/sweeps/" + sw.id + "\">" + sw.id +
+        "</a></td><td><span class=\"state\">" + esc(sw.state) +
+        "</span></td><td class=\"n\">" + done +
+        "</td><td class=\"n\">" + sw.total +
+        "</td><td class=\"n\">" + (sw.memoized || 0) +
+        "</td><td>" + (sw.degraded ? "yes" : "") + "</td></tr>";
+    }
+    if (!rows) rows = '<tr><td colspan="6" class="empty">no sweeps yet</td></tr>';
+    document.querySelector("#sweeps tbody").innerHTML = rows;
+  }
+
   function refreshTables() {
     fetch("/fleet").then(function (r) { return r.json(); }).then(renderFleet)["catch"](function () {});
     fetch("/runs").then(function (r) { return r.json(); }).then(renderRuns)["catch"](function () {});
+    fetch("/sweeps").then(function (r) { return r.json(); }).then(renderSweeps)["catch"](function () {});
   }
 
   var es = new EventSource("/dashboard/stream");

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -113,5 +114,157 @@ func TestDashboardStream(t *testing.T) {
 		if sm.Instructions != final.Totals.Instructions {
 			t.Errorf("sample %d instructions = %d, want %d", i, sm.Instructions, final.Totals.Instructions)
 		}
+	}
+}
+
+// dashStream opens /dashboard/stream, optionally resuming with a
+// Last-Event-ID header.
+func dashStream(t *testing.T, ts *httptest.Server, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/dashboard/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// dashEvent is one parsed SSE frame from the dashboard stream.
+type dashEvent struct {
+	id    int // -1 when the frame carried no id line (gap events)
+	event string
+	data  string
+}
+
+// readDashEvents consumes SSE frames until stop returns true (the frame
+// that satisfied stop is included) or the scanner ends.
+func readDashEvents(t *testing.T, resp *http.Response, stop func(dashEvent) bool) []dashEvent {
+	t.Helper()
+	var events []dashEvent
+	cur := dashEvent{id: -1}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.id)
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event == "" && cur.data == "" {
+				continue // the retry-advice frame
+			}
+			events = append(events, cur)
+			done := stop(cur)
+			cur = dashEvent{id: -1}
+			if done {
+				return events
+			}
+		}
+	}
+	t.Fatalf("stream ended before the stop condition (%d events, err %v)", len(events), sc.Err())
+	return nil
+}
+
+// TestDashboardStreamResume: a client reconnecting with Last-Event-ID
+// resumes at exactly the next ordinal — no duplicates, no gap event —
+// because the sample ring outlives the subscription.
+func TestDashboardStreamResume(t *testing.T) {
+	reg := NewRegistry(nil)
+	srv := NewServer(reg, nil)
+	srv.DashboardSampleInterval = time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := dashStream(t, ts, "")
+	first := readDashEvents(t, resp, func(e dashEvent) bool { return e.id >= 2 })
+	resp.Body.Close()
+	last := first[len(first)-1].id
+
+	resp = dashStream(t, ts, fmt.Sprint(last))
+	defer resp.Body.Close()
+	resumed := readDashEvents(t, resp, func(e dashEvent) bool { return e.id >= last+3 })
+	for i, e := range resumed {
+		if e.event == "gap" {
+			t.Fatalf("resume within the ring produced a gap event: %+v", e)
+		}
+		if e.id <= last {
+			t.Fatalf("resumed stream re-sent sample %d (already seen through %d)", e.id, last)
+		}
+		if want := last + 1 + i; e.id != want {
+			t.Fatalf("resumed event %d has id %d, want %d (ordinals must be dense)", i, e.id, want)
+		}
+	}
+}
+
+// TestDashboardStreamGapOnDroppedPrefix: when the bounded ring has
+// dropped the ordinals a reconnecting client asks for, the stream says so
+// with an explicit gap event — dropped count and resume point — before
+// the surviving samples, mirroring the per-run snapshot stream.
+func TestDashboardStreamGapOnDroppedPrefix(t *testing.T) {
+	reg := NewRegistry(nil)
+	srv := NewServer(reg, nil)
+	srv.DashboardSampleInterval = time.Millisecond
+	srv.DashboardRing = 2
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Age the ring well past its bound.
+	resp := dashStream(t, ts, "")
+	readDashEvents(t, resp, func(e dashEvent) bool { return e.id >= 6 })
+	resp.Body.Close()
+
+	resp = dashStream(t, ts, "0")
+	defer resp.Body.Close()
+	var gap struct {
+		From    int `json:"from"`
+		Resumed int `json:"resumed"`
+		Dropped int `json:"dropped"`
+	}
+	events := readDashEvents(t, resp, func(e dashEvent) bool { return e.event == "sample" })
+	if events[0].event != "gap" {
+		t.Fatalf("first frame after a dropped-prefix resume is %q, want gap (%+v)", events[0].event, events)
+	}
+	if err := json.Unmarshal([]byte(events[0].data), &gap); err != nil {
+		t.Fatalf("bad gap payload %q: %v", events[0].data, err)
+	}
+	if gap.From != 1 || gap.Dropped < 1 || gap.Resumed != gap.From+gap.Dropped {
+		t.Fatalf("gap accounting %+v does not balance", gap)
+	}
+	samp := events[len(events)-1]
+	if samp.id != gap.Resumed {
+		t.Fatalf("first sample after the gap has id %d, want the resume point %d", samp.id, gap.Resumed)
+	}
+}
+
+// TestDashboardStreamStaleIDClampsToHead: a Last-Event-ID beyond anything
+// published (e.g. from a previous server life) must not wedge the stream
+// — the handler clamps back to the ring head and keeps serving fresh
+// samples with truthful (smaller) ordinals.
+func TestDashboardStreamStaleIDClampsToHead(t *testing.T) {
+	reg := NewRegistry(nil)
+	srv := NewServer(reg, nil)
+	srv.DashboardSampleInterval = time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := dashStream(t, ts, "100000")
+	defer resp.Body.Close()
+	events := readDashEvents(t, resp, func(e dashEvent) bool { return e.event == "sample" })
+	samp := events[len(events)-1]
+	if samp.id >= 100000 {
+		t.Fatalf("sample id %d did not clamp below the stale Last-Event-ID", samp.id)
+	}
+	var sm map[string]any
+	if err := json.Unmarshal([]byte(samp.data), &sm); err != nil {
+		t.Fatalf("bad sample %q: %v", samp.data, err)
 	}
 }

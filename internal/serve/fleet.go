@@ -23,6 +23,7 @@ func (g *Registry) recordTerminal(run *Run) {
 	res := run.result
 	totals := run.totals
 	intervals := run.snapBase + run.snapCount
+	memoized, memoRun := run.memoized, run.memoRun
 	run.mu.Unlock()
 
 	// Per-stage durations for this run alone: the closed lifecycle spans,
@@ -47,6 +48,8 @@ func (g *Registry) recordTerminal(run *Run) {
 		Functional:   run.Spec.Functional,
 		State:        string(state),
 		Chaos:        run.Spec.Chaos != nil,
+		Memoized:     memoized,
+		MemoSource:   memoRun,
 		Panic:        strings.HasPrefix(errMsg, "panic:"),
 		Error:        firstLine(errMsg),
 		Created:      created,
@@ -64,6 +67,35 @@ func (g *Registry) recordTerminal(run *Run) {
 	if res != nil {
 		if d, err := ledger.ResultDigest(res); err == nil {
 			rec.ResultDigest = d
+		}
+	}
+
+	// A real, fault-free completion enters (or refreshes) the memo store;
+	// memoized runs never do — the chain always points at an execution.
+	// Digest drift against a prior entry for the same spec hash is a
+	// determinism violation worth shouting about.
+	if g.memo != nil && state == StateDone && !memoized && run.Spec.Chaos == nil &&
+		res != nil && rec.ResultDigest != "" && rec.SpecHash != "" {
+		snaps, from, _, _ := run.SnapsFrom(0)
+		attrText, attrColl := run.Profile()
+		drift := g.memo.store(&memoEntry{
+			specHash:    rec.SpecHash,
+			runID:       run.ID,
+			traceID:     rec.TraceID,
+			digest:      rec.ResultDigest,
+			full:        true,
+			totals:      totals,
+			snaps:       snaps,
+			snapBase:    from,
+			snapDropped: run.SnapshotsDropped(),
+			result:      res,
+			attrText:    attrText,
+			attrColl:    attrColl,
+		})
+		if drift {
+			g.log.Error("memo digest drift: same spec hash produced a different result digest",
+				"run_id", run.ID, "trace_id", rec.TraceID, "spec_hash", rec.SpecHash,
+				"digest", rec.ResultDigest)
 		}
 	}
 
@@ -93,9 +125,18 @@ func firstLine(s string) string {
 }
 
 // SeedFleet loads replayed ledger records into the fleet rollup
-// (cppserved calls it at boot so /fleet spans server restarts).
+// (cppserved calls it at boot so /fleet spans server restarts) and
+// warm-starts the memo index: every replayed fault-free done record
+// seeds an index-only entry so post-boot re-executions are digest-checked
+// against the ledgered result (and promoted to full, servable entries).
 func (g *Registry) SeedFleet(recs []ledger.Record) {
 	g.fleet.AddAll(recs)
+	if g.memo != nil {
+		n := g.memo.seed(recs)
+		if n > 0 {
+			g.log.Info("memo index warm-started from ledger", "entries", n)
+		}
+	}
 }
 
 // FleetRecords returns the fleet's records (tests and diff tooling).
@@ -109,6 +150,10 @@ func (g *Registry) FleetAggregate(f ledger.Filter, dims ...string) (*ledger.Aggr
 // LedgerPath returns the configured ledger file ("" when persistence is
 // off); surfaces in cppserved_build_info.
 func (g *Registry) LedgerPath() string { return g.cfg.Ledger.Path() }
+
+// Role returns this process's fabric role ("single", "coordinator" or
+// "worker"); surfaces in cppserved_build_info.
+func (g *Registry) Role() string { return g.cfg.Role }
 
 // fleetFilterFromQuery parses the /fleet query parameters: label filters
 // (workload, config, compressor, state), an absolute time window (since,

@@ -415,8 +415,8 @@ func TestPromLabelEscaping(t *testing.T) {
 	}
 	writeFleetMetrics(&b, agg)
 
-	// Build info, via a hostile ledger path.
-	writeBuildInfo(&b, nasty)
+	// Build info, via a hostile ledger path and role.
+	writeBuildInfo(&b, nasty, nasty)
 
 	body := b.String()
 	for _, needle := range []string{

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthzAlwaysLive: liveness is decoupled from readiness — /healthz
+// answers 200 while booting, while ready and while draining.
+func TestHealthzAlwaysLive(t *testing.T) {
+	ts, reg := newTestServer(t)
+	check := func(phase string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz during %s: status %d, want 200", phase, resp.StatusCode)
+		}
+	}
+	reg.SetReady(false)
+	check("boot")
+	reg.SetReady(true)
+	check("ready")
+	reg.Drain(time.Second)
+	check("draining")
+}
+
+// TestReadyzLifecycle: /readyz is 503 with a Retry-After before boot
+// replay completes and after draining starts, 200 in between.
+func TestReadyzLifecycle(t *testing.T) {
+	ts, reg := newTestServer(t)
+	get := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		_ = body
+		return resp
+	}
+
+	reg.SetReady(false)
+	if resp := get(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while booting: status %d, want 503", resp.StatusCode)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz 503 missing Retry-After")
+	}
+
+	reg.SetReady(true)
+	if resp := get(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz when ready: status %d, want 200", resp.StatusCode)
+	}
+
+	reg.Drain(time.Second)
+	if resp := get(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", resp.StatusCode)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz draining 503 missing Retry-After")
+	}
+}
+
+// TestReadyzReasons: the 503 body names the phase, so probes and humans
+// can tell a booting server from a draining one.
+func TestReadyzReasons(t *testing.T) {
+	_, reg := newTestServer(t)
+	reg.SetReady(false)
+	if ready, reason := reg.Readiness(); ready || reason != "booting" {
+		t.Fatalf("booting: ready=%v reason=%q", ready, reason)
+	}
+	reg.SetReady(true)
+	if ready, _ := reg.Readiness(); !ready {
+		t.Fatal("ready flag did not take")
+	}
+	reg.Drain(time.Second)
+	if ready, reason := reg.Readiness(); ready || reason != "draining" {
+		t.Fatalf("draining: ready=%v reason=%q", ready, reason)
+	}
+}
+
+// TestLaunchBackpressureRetryAfter: both 429 (queue full) and 503
+// (draining) advise Retry-After derived from the shared backoff policy.
+func TestLaunchBackpressureRetryAfter(t *testing.T) {
+	ts, reg := newTestServerWith(t, Config{MaxRunning: 1, MaxQueue: 1, AllowChaos: true})
+	// Stall the slot and fill the queue.
+	launch(t, ts, `{"workload":"mst","config":"CPP","functional":true,"scale":1,"chaos":{"stall_after":1,"stall_ms":30000}}`)
+	launch(t, ts, `{"workload":"mst","config":"CPP","functional":true,"scale":2}`)
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/runs", "application/json",
+			strings.NewReader(`{"workload":"mst","config":"CPP","functional":true,"scale":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		return resp
+	}
+
+	if resp := post(); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+
+	go reg.Drain(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := post()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 missing Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never started draining (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

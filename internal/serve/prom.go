@@ -65,13 +65,14 @@ func escapeLabel(v string) string {
 
 // writeBuildInfo renders the cppserved_build_info gauge: a constant-1
 // series whose labels make every scrape self-describing (which Go
-// toolchain, how many workers the box offers, where the ledger lives),
-// mirroring the machine fields BENCH_simperf.json records.
-func writeBuildInfo(w *strings.Builder, ledgerPath string) {
+// toolchain, how many workers the box offers, where the ledger lives,
+// what role this process plays in the sweep fabric), mirroring the
+// machine fields BENCH_simperf.json records.
+func writeBuildInfo(w *strings.Builder, ledgerPath, role string) {
 	fmt.Fprintf(w, "# HELP cppserved_build_info Build and host facts as labels; value is always 1.\n# TYPE cppserved_build_info gauge\n")
-	fmt.Fprintf(w, "cppserved_build_info{go_version=\"%s\",gomaxprocs=\"%d\",num_cpu=\"%d\",ledger=\"%s\"} 1\n",
+	fmt.Fprintf(w, "cppserved_build_info{go_version=\"%s\",gomaxprocs=\"%d\",num_cpu=\"%d\",ledger=\"%s\",role=\"%s\"} 1\n",
 		escapeLabel(runtime.Version()), runtime.GOMAXPROCS(0), runtime.NumCPU(),
-		escapeLabel(ledgerPath))
+		escapeLabel(ledgerPath), escapeLabel(role))
 }
 
 // writeMetrics renders the registry in Prometheus text exposition format
@@ -118,6 +119,17 @@ func writeMetrics(w *strings.Builder, runs []*Run, c Counters) {
 	fmt.Fprintf(w, "cppserved_slow_streams_disconnected_total %d\n", c.SlowStreamsDropped)
 	fmt.Fprintf(w, "# HELP cppserved_ledger_append_errors_total Ledger appends that failed (runs themselves unaffected).\n# TYPE cppserved_ledger_append_errors_total counter\n")
 	fmt.Fprintf(w, "cppserved_ledger_append_errors_total %d\n", c.LedgerErrors)
+	fmt.Fprintf(w, "# HELP cppserved_memo_hits_total Admitted runs served from the spec-hash memo store.\n# TYPE cppserved_memo_hits_total counter\n")
+	fmt.Fprintf(w, "cppserved_memo_hits_total %d\n", c.MemoHits)
+	fmt.Fprintf(w, "# HELP cppserved_memo_misses_total Admitted runs that executed for real (no servable memo entry).\n# TYPE cppserved_memo_misses_total counter\n")
+	fmt.Fprintf(w, "cppserved_memo_misses_total %d\n", c.MemoMisses)
+	fmt.Fprintf(w, "# HELP cppserved_memo_entries Memo store entries by completeness (full entries can serve hits; index entries only digest-check).\n# TYPE cppserved_memo_entries gauge\n")
+	fmt.Fprintf(w, "cppserved_memo_entries{kind=\"full\"} %d\n", c.MemoFullEntries)
+	fmt.Fprintf(w, "cppserved_memo_entries{kind=\"index\"} %d\n", c.MemoEntries-c.MemoFullEntries)
+	fmt.Fprintf(w, "# HELP cppserved_memo_digest_drift_total Same spec hash produced a different result digest (determinism violation).\n# TYPE cppserved_memo_digest_drift_total counter\n")
+	fmt.Fprintf(w, "cppserved_memo_digest_drift_total %d\n", c.MemoDigestDrift)
+	fmt.Fprintf(w, "# HELP cppserved_memo_evictions_total Memo entries evicted by the LRU bound.\n# TYPE cppserved_memo_evictions_total counter\n")
+	fmt.Fprintf(w, "cppserved_memo_evictions_total %d\n", c.MemoEvictions)
 	fmt.Fprintf(w, "# HELP cppsim_intervals_total Metric snapshots taken.\n# TYPE cppsim_intervals_total counter\n")
 	for i, s := range samples {
 		fmt.Fprintf(w, "cppsim_intervals_total{%s} %d\n", s.labels, intervals[i])

@@ -13,6 +13,7 @@ import (
 
 	"cppcache"
 	"cppcache/internal/chaos"
+	"cppcache/internal/fabric"
 	"cppcache/internal/ledger"
 	"cppcache/internal/obs"
 	"cppcache/internal/sched"
@@ -132,6 +133,12 @@ type Run struct {
 	attrText    string
 	attrColl    string
 
+	// Memoization provenance: a memoized run never executed — it replayed
+	// the terminal state of run memoRun (trace memoTrace).
+	memoized  bool
+	memoRun   int
+	memoTrace string
+
 	// Lifecycle spans. The tracer is created at admission and the spans
 	// are opened/closed with the exact instants stamped on created/
 	// started/finished, so span durations reconcile with the registry
@@ -172,6 +179,12 @@ type RunStatus struct {
 	SnapshotsDropped int64            `json:"snapshots_dropped,omitempty"`
 	Totals           obs.Snapshot     `json:"totals"`
 	Result           *cppcache.Result `json:"result,omitempty"`
+
+	// Memoized marks a run served from the spec-hash memo store;
+	// MemoSourceRun/MemoSourceTrace identify the execution it replayed.
+	Memoized        bool   `json:"memoized,omitempty"`
+	MemoSourceRun   int    `json:"memo_source_run,omitempty"`
+	MemoSourceTrace string `json:"memo_source_trace,omitempty"`
 }
 
 // Config sizes the registry's admission control and retention.
@@ -194,6 +207,19 @@ type Config struct {
 	// (fsync'd append). Nil disables persistence; the in-memory fleet
 	// rollup is always maintained.
 	Ledger *ledger.Writer
+	// MemoEntries bounds the spec-hash memo store (LRU). 0 disables
+	// memoization entirely: every admitted run executes.
+	MemoEntries int
+	// SweepRetain bounds retained terminal sweeps. 0 = DefaultSweepRetain.
+	SweepRetain int
+	// Fabric, when non-nil, makes sweeps execute their children through
+	// the coordinator/worker tier instead of the local pool. Direct POST
+	// /runs traffic still executes locally.
+	Fabric *fabric.Coordinator
+	// Role names this process's place in the sweep fabric for the
+	// cppserved_build_info role label: "single" (default), "coordinator"
+	// or "worker".
+	Role string
 }
 
 // Admission-control and retention defaults.
@@ -217,6 +243,13 @@ func (c Config) withDefaults() Config {
 	if c.Retain <= 0 {
 		c.Retain = DefaultRetain
 	}
+	if c.Role == "" {
+		if c.Fabric != nil {
+			c.Role = "coordinator"
+		} else {
+			c.Role = "single"
+		}
+	}
 	return c
 }
 
@@ -232,6 +265,15 @@ type Counters struct {
 	SlowStreamsDropped int64
 	SnapshotsDropped   int64 // summed over retained runs plus evicted ones
 	LedgerErrors       int64 // ledger appends that failed (runs unaffected)
+
+	// Memo-store counters (all zero when memoization is off). Hits+Misses
+	// equals admitted runs exactly — the conservation the memo tests pin.
+	MemoHits        int64
+	MemoMisses      int64
+	MemoEntries     int
+	MemoFullEntries int
+	MemoDigestDrift int64
+	MemoEvictions   int64
 }
 
 // Registry launches and tracks simulation jobs under supervision: a
@@ -251,14 +293,22 @@ type Registry struct {
 	// replayed records included, queryable via /fleet and cppledger.
 	fleet *ledger.Rollup
 
-	mu      sync.Mutex
-	runs    map[int]*Run
-	order   []int
-	queue   []int // ids of queued runs, FIFO
-	running int
-	next    int
-	closed  bool
-	pending sync.WaitGroup
+	// memo is the spec-hash result cache (nil when Config.MemoEntries is
+	// 0); sweeps is the batch-sweep engine; fab is the coordinator tier
+	// sweeps dispatch through (nil = local execution).
+	memo   *memoStore
+	sweeps *sweepSet
+	fab    *fabric.Coordinator
+
+	mu       sync.Mutex
+	runs     map[int]*Run
+	order    []int
+	queue    []int // ids of queued runs, FIFO
+	running  int
+	next     int
+	closed   bool
+	notReady bool // true until boot replay completes (SetReady)
+	pending  sync.WaitGroup
 
 	panics        int64
 	evicted       int64
@@ -281,7 +331,7 @@ func NewRegistryWith(cfg Config, log *slog.Logger) *Registry {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	cfg = cfg.withDefaults()
-	return &Registry{
+	g := &Registry{
 		cfg:   cfg,
 		log:   log,
 		pool:  sched.NewPool(cfg.MaxRunning),
@@ -289,6 +339,38 @@ func NewRegistryWith(cfg Config, log *slog.Logger) *Registry {
 		next:  1,
 		fleet: ledger.NewRollup(),
 	}
+	if cfg.MemoEntries > 0 {
+		g.memo = newMemoStore(cfg.MemoEntries)
+	}
+	g.sweeps = newSweepSet(g)
+	g.fab = cfg.Fabric
+	return g
+}
+
+// SetReady flips the registry's boot-readiness. cppserved starts the
+// listener before replaying the ledger and calls SetReady(true) once the
+// replay (and fleet/memo seeding) completes, so /readyz answers 503
+// during the boot window. Registries built by tests are ready from birth.
+func (g *Registry) SetReady(ready bool) {
+	g.mu.Lock()
+	g.notReady = !ready
+	g.mu.Unlock()
+}
+
+// Readiness reports whether the registry should accept traffic, with a
+// machine-readable reason when it should not ("draining", "booting").
+// Liveness (/healthz) is unconditional; readiness is what load balancers
+// and the fabric's worker probes key on.
+func (g *Registry) Readiness() (ready bool, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case g.closed:
+		return false, "draining"
+	case g.notReady:
+		return false, "booting"
+	}
+	return true, ""
 }
 
 // Limits returns the registry's effective configuration.
@@ -346,14 +428,37 @@ func (g *Registry) normalize(spec RunSpec) (RunSpec, error) {
 	return spec, nil
 }
 
+// LaunchOptions tune one admission.
+type LaunchOptions struct {
+	// NoCache bypasses the memo lookup (the ?nocache=1 escape hatch): the
+	// run executes even when a memoized result exists. Its own terminal
+	// result still refreshes the store.
+	NoCache bool
+}
+
 // Launch validates spec and admits a run: dispatched immediately when a
 // worker slot is free, queued when the wait queue has room, rejected with
 // ErrQueueFull/ErrDraining otherwise. It returns the registered run
 // immediately.
 func (g *Registry) Launch(spec RunSpec) (*Run, error) {
+	return g.LaunchOpts(spec, LaunchOptions{})
+}
+
+// LaunchOpts is Launch with explicit options. When memoization is on and
+// a full memo entry matches the spec's content hash, the run is born
+// terminal (done) with the original's snapshots, totals, result and
+// profile — served in microseconds, no worker slot consumed, marked
+// memoized with the source run/trace IDs. Chaos runs never consult the
+// memo (fault injection must actually execute), and runs only enter the
+// store from real, fault-free completions.
+func (g *Registry) LaunchOpts(spec RunSpec, opts LaunchOptions) (*Run, error) {
 	spec, err := g.normalize(spec)
 	if err != nil {
 		return nil, err
+	}
+	var specHash string
+	if g.memo != nil {
+		specHash, _ = ledger.SpecHash(spec)
 	}
 
 	g.mu.Lock()
@@ -362,10 +467,32 @@ func (g *Registry) Launch(spec RunSpec) (*Run, error) {
 		g.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if g.memo != nil && specHash != "" && !opts.NoCache && spec.Chaos == nil {
+		if e := g.memo.lookup(specHash); e != nil {
+			// A hit bypasses admission control entirely: no slot, no queue
+			// capacity, just a terminal run built from the cached entry.
+			g.memo.countHit()
+			run := g.newMemoRunLocked(spec, e)
+			g.mu.Unlock()
+			g.log.Info("run memoized", "run_id", run.ID, "trace_id", run.TraceID(),
+				"workload", spec.Workload, "config", spec.Config,
+				"source_run", e.runID, "source_trace", e.traceID)
+			g.recordTerminal(run)
+			g.mu.Lock()
+			g.evictLocked()
+			g.mu.Unlock()
+			return run, nil
+		}
+	}
 	if g.running >= g.cfg.MaxRunning && len(g.queue) >= g.cfg.MaxQueue {
 		g.rejectedFull++
 		g.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrQueueFull, g.running, len(g.queue))
+	}
+	if g.memo != nil {
+		// Counted only after admission succeeds, so hits+misses equals
+		// admitted runs exactly (rejections count neither).
+		g.memo.countMiss()
 	}
 	t0 := time.Now()
 	tracer := span.New(0)
@@ -402,6 +529,59 @@ func (g *Registry) Launch(spec RunSpec) (*Run, error) {
 	admit.End()
 	g.mu.Unlock()
 	return run, nil
+}
+
+// newMemoRunLocked registers a run that is born terminal, rebuilt from a
+// full memo entry. Every invariant a real run satisfies holds here too:
+// the snapshot series, totals, result and profile are the original's
+// byte-for-byte; span timestamps reconcile exactly (queue and execute are
+// both zero-width at the admission instant, so queue+execute == run to
+// the nanosecond). Callers hold g.mu.
+func (g *Registry) newMemoRunLocked(spec RunSpec, e *memoEntry) *Run {
+	t0 := time.Now()
+	tracer := span.New(0)
+	tracer.SetOnEnd(g.stages.observe)
+	run := &Run{
+		ID:          g.next,
+		Spec:        spec,
+		state:       StateDone,
+		created:     t0,
+		started:     t0,
+		finished:    t0,
+		ringCap:     g.cfg.SnapRing,
+		changed:     make(chan struct{}),
+		tracer:      tracer,
+		memoized:    true,
+		memoRun:     e.runID,
+		memoTrace:   e.traceID,
+		snaps:       append([]obs.Snapshot(nil), e.snaps...),
+		snapCount:   len(e.snaps),
+		snapBase:    e.snapBase,
+		snapDropped: e.snapDropped,
+		totals:      e.totals,
+		result:      e.result,
+		attrText:    e.attrText,
+		attrColl:    e.attrColl,
+	}
+	run.root = tracer.StartAt("run", nil, t0,
+		span.Int("run_id", int64(run.ID)),
+		span.String("workload", spec.Workload),
+		span.String("config", spec.Config),
+		span.String("compressor", spec.Compressor),
+		span.Bool("memoized", true),
+		span.Int("memo_source_run", int64(e.runID)))
+	admit := run.root.StartChildAt("admission", t0)
+	run.queueSp = run.root.StartChildAt("queue", t0)
+	run.execSp = run.root.StartChildAt("execute", t0)
+	run.execSp.SetAttrs(span.Bool("memoized", true))
+	admit.EndAt(t0)
+	run.queueSp.EndAt(t0)
+	run.execSp.EndAt(t0)
+	run.root.EndAt(t0)
+	g.next++
+	g.runs[run.ID] = run
+	g.order = append(g.order, run.ID)
+	return run
 }
 
 // startLocked dispatches a queued run onto its own goroutine. Callers hold
@@ -651,6 +831,13 @@ func (g *Registry) Counters() Counters {
 	for _, run := range runs {
 		c.SnapshotsDropped += run.SnapshotsDropped()
 	}
+	ms := g.memo.stats()
+	c.MemoHits = ms.Hits
+	c.MemoMisses = ms.Misses
+	c.MemoEntries = ms.Entries
+	c.MemoFullEntries = ms.Full
+	c.MemoDigestDrift = ms.Drift
+	c.MemoEvictions = ms.Evictions
 	return c
 }
 
@@ -673,6 +860,10 @@ func (g *Registry) Drain(timeout time.Duration) bool {
 	queued := g.queue
 	g.queue = nil
 	g.mu.Unlock()
+	// Cancel sweeps first: their engines stop feeding new children into
+	// the (now closed) admission path and fan cancellation out to in-flight
+	// child runs.
+	g.sweeps.drain()
 	// No further dispatches will be accepted; let the pool workers exit
 	// once the already-submitted executions finish.
 	g.pool.Close()
@@ -874,6 +1065,9 @@ func (r *Run) Status() RunStatus {
 		SnapshotsDropped: r.snapDropped,
 		Totals:           r.totals,
 		Result:           r.result,
+		Memoized:         r.memoized,
+		MemoSourceRun:    r.memoRun,
+		MemoSourceTrace:  r.memoTrace,
 	}
 	if !r.started.IsZero() {
 		s := r.started

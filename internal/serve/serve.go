@@ -4,13 +4,21 @@
 //
 // Endpoints:
 //
-//	POST   /runs               launch a job (JSON RunSpec body)
+//	POST   /runs               launch a job (JSON RunSpec body; ?nocache=1
+//	                           bypasses spec-hash memoization for this run)
 //	GET    /runs               list runs (?state= filter; created-time order)
 //	GET    /runs/{id}          one run's status, totals and final result
 //	DELETE /runs/{id}          cancel a queued or running job
 //	GET    /runs/{id}/stream   SSE: replay + follow the interval snapshots
 //	GET    /runs/{id}/profile  attribution profile (text or collapsed stacks)
 //	GET    /runs/{id}/trace    run-lifecycle span tree (?format=chrome|otlp)
+//	POST   /sweeps             expand a cross-product sweep into child runs
+//	GET    /sweeps             list sweeps (newest first)
+//	GET    /sweeps/{id}        one sweep's aggregate status and children
+//	GET    /sweeps/{id}/table  deterministic TSV result table (byte-stable
+//	                           across retries and worker loss)
+//	GET    /sweeps/{id}/stream SSE: sweep progress events to completion
+//	DELETE /sweeps/{id}        cancel a sweep (fans out to child runs)
 //	GET    /fleet              fleet rollup over the run ledger (filters:
 //	                           workload, config, compressor, state, since,
 //	                           until, window)
@@ -18,7 +26,9 @@
 //	GET    /dashboard          live observatory dashboard (zero-dep HTML)
 //	GET    /dashboard/stream   SSE: periodic fleet-level samples
 //	GET    /metrics            Prometheus text exposition over all runs
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness (process is up)
+//	GET    /readyz             readiness (503 before ledger boot-replay
+//	                           completes and while draining, Retry-After set)
 //	GET    /debug/pprof/...    net/http/pprof
 //
 // Counters on /metrics are sums of the per-interval snapshot deltas, so
@@ -30,7 +40,9 @@
 //
 // Failure mapping: invalid specs are HTTP 400 with a structured body
 // naming the field, a full admission queue is 429 with Retry-After, and a
-// draining registry is 503.
+// draining registry is 503 with Retry-After. Retry-After values derive
+// from the shared backoff policy so clients and the sweep fabric pace
+// themselves consistently.
 package serve
 
 import (
@@ -45,6 +57,7 @@ import (
 	"strings"
 	"time"
 
+	"cppcache/internal/backoff"
 	"cppcache/internal/ledger"
 	"cppcache/internal/span"
 )
@@ -68,6 +81,13 @@ type Server struct {
 	// DashboardSampleInterval overrides DefaultDashboardSampleInterval
 	// when > 0 (tests set it tiny to exercise the sample stream).
 	DashboardSampleInterval time.Duration
+
+	// DashboardRing overrides DefaultDashboardRing when > 0 (tests set
+	// it tiny to exercise reconnect gap accounting).
+	DashboardRing int
+
+	// dash is the shared sample feed behind /dashboard/stream.
+	dash *dashSampler
 }
 
 // NewServer builds the observatory handler around a registry.
@@ -76,6 +96,7 @@ func NewServer(reg *Registry, log *slog.Logger) *Server {
 		log = reg.log
 	}
 	s := &Server{reg: reg, log: log, mux: http.NewServeMux()}
+	s.dash = newDashSampler(s)
 	s.mux.HandleFunc("POST /runs", s.handleLaunch)
 	s.mux.HandleFunc("GET /runs", s.handleList)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
@@ -83,15 +104,19 @@ func NewServer(reg *Registry, log *slog.Logger) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /sweeps", s.handleSweepLaunch)
+	s.mux.HandleFunc("GET /sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("GET /sweeps/{id}/table", s.handleSweepTable)
+	s.mux.HandleFunc("GET /sweeps/{id}/stream", s.handleSweepStream)
+	s.mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /fleet/{dimension}", s.handleFleetDim)
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("GET /dashboard/stream", s.handleDashboardStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -105,6 +130,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mux.ServeHTTP(w, r)
 	s.log.Info("http", "method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
+}
+
+// handleHealthz is GET /healthz: pure liveness. It answers 200 as long
+// as the process serves HTTP at all — including while draining — so
+// orchestrators never kill a server that is merely finishing its queue.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is GET /readyz: readiness for new work. It answers 503
+// with a Retry-After while the registry is draining or before the boot
+// ledger replay finished, so load balancers and the fabric's health
+// probes steer launches elsewhere without marking the process dead.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := s.reg.Readiness()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ready {
+		w.Header().Set("Retry-After", strconv.Itoa(backoff.DefaultPolicy.RetryAfterSeconds()))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -137,9 +186,16 @@ func (s *Server) runFromPath(w http.ResponseWriter, r *http.Request) (*Run, bool
 	return run, true
 }
 
+// retryAfter stamps a Retry-After header from the shared backoff policy,
+// so HTTP clients get the same pacing advice the fabric's retry loop uses.
+func retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(backoff.DefaultPolicy.RetryAfterSeconds()))
+}
+
 // handleLaunch is POST /runs. Spec violations are 400 with the offending
-// field; admission backpressure is 429 (queue full, with Retry-After) or
-// 503 (draining).
+// field; admission backpressure is 429 (queue full) or 503 (draining),
+// both with backoff-derived Retry-After. ?nocache=1 forces a real
+// execution even when the spec's hash has a memoized result.
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var spec RunSpec
 	dec := json.NewDecoder(r.Body)
@@ -148,7 +204,8 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "bad run spec: %v", err)
 		return
 	}
-	run, err := s.reg.Launch(spec)
+	opts := LaunchOptions{NoCache: r.URL.Query().Get("nocache") == "1"}
+	run, err := s.reg.LaunchOpts(spec, opts)
 	if err != nil {
 		var se *SpecError
 		switch {
@@ -157,9 +214,10 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusBadRequest)
 			json.NewEncoder(w).Encode(se)
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			retryAfter(w)
 			jsonError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, ErrDraining):
+			retryAfter(w)
 			jsonError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
 			jsonError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -290,11 +348,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
-	writeBuildInfo(&b, s.reg.LedgerPath())
+	writeBuildInfo(&b, s.reg.LedgerPath(), s.reg.Role())
 	writeMetrics(&b, s.reg.Runs(), s.reg.Counters())
 	s.reg.stages.writeProm(&b)
 	if agg, err := s.reg.FleetAggregate(ledger.Filter{}); err == nil {
 		writeFleetMetrics(&b, agg)
+	}
+	if fab := s.reg.Fabric(); fab != nil {
+		fab.WriteProm(&b)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
@@ -350,6 +411,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 		return true
+	}
+
+	// Reconnect advice: pace SSE client retries with the shared backoff
+	// base instead of the browser's default.
+	if !push(func() error {
+		_, err := fmt.Fprintf(w, "retry: %d\n\n", backoff.DefaultPolicy.Delay(1).Milliseconds())
+		return err
+	}) {
+		return
 	}
 
 	next := 0

@@ -1,0 +1,649 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cppcache"
+	"cppcache/internal/backoff"
+	"cppcache/internal/fabric"
+	"cppcache/internal/ledger"
+)
+
+// SweepSpec is the POST /sweeps body: a cross-product of run parameters
+// expanded into deduplicated child runs. Workloads and configs are
+// required; compressors default to the scheme default ("") and scales to
+// the workload default (0).
+type SweepSpec struct {
+	Workloads   []string `json:"workloads"`
+	Configs     []string `json:"configs"`
+	Compressors []string `json:"compressors,omitempty"`
+	Scales      []int    `json:"scales,omitempty"`
+	// Functional, Interval and TimeoutSec apply to every child run.
+	Functional bool    `json:"functional,omitempty"`
+	Interval   int64   `json:"interval,omitempty"`
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// MaxSweepProduct bounds the raw cross-product size of one sweep; larger
+// products are a structured 400, never a half-admitted batch.
+const MaxSweepProduct = 512
+
+// DefaultSweepRetain bounds retained terminal sweeps when
+// Config.SweepRetain is 0.
+const DefaultSweepRetain = 32
+
+// Sweep lifecycle states. A sweep is running from admission until every
+// child is terminal; it ends done (possibly degraded) or canceled.
+const (
+	SweepRunning  = "running"
+	SweepDone     = "done"
+	SweepCanceled = "canceled"
+)
+
+// sweepChild is one deduplicated cell of the cross-product.
+type sweepChild struct {
+	Spec     RunSpec  `json:"spec"`
+	SpecHash string   `json:"spec_hash"`
+	State    RunState `json:"state"`
+	RunID    int      `json:"run_id,omitempty"`
+	TraceID  string   `json:"trace_id,omitempty"`
+	Worker   string   `json:"worker,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+	Memoized bool     `json:"memoized,omitempty"`
+	Digest   string   `json:"result_digest,omitempty"`
+	Error    string   `json:"error,omitempty"`
+
+	result *cppcache.Result // deterministic columns for the table
+}
+
+// skippedCombo is a cross-product cell that failed spec validation
+// (e.g. a compressor incompatible with a config). Skips are reported, not
+// fatal: the sweep runs the valid remainder.
+type skippedCombo struct {
+	Workload   string `json:"workload"`
+	Config     string `json:"config"`
+	Compressor string `json:"compressor,omitempty"`
+	Scale      int    `json:"scale,omitempty"`
+	Reason     string `json:"reason"`
+}
+
+// Sweep is one admitted batch. All mutable state is guarded by mu;
+// changed is closed and replaced on every mutation (SSE progress waits
+// on it, exactly like Run.changed).
+type Sweep struct {
+	ID   int       `json:"id"`
+	Spec SweepSpec `json:"spec"`
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	finished time.Time
+	children []*sweepChild
+	skipped  []skippedCombo
+	deduped  int // cross-product cells collapsed into an earlier child
+	degraded bool
+	cancel   context.CancelFunc
+	changed  chan struct{}
+}
+
+// SweepStatus is the JSON shape served for one sweep.
+type SweepStatus struct {
+	ID       int            `json:"id"`
+	Spec     SweepSpec      `json:"spec"`
+	State    string         `json:"state"`
+	Created  time.Time      `json:"created"`
+	Finished *time.Time     `json:"finished,omitempty"`
+	Degraded bool           `json:"degraded,omitempty"`
+	Total    int            `json:"total"`
+	Counts   map[string]int `json:"counts"`
+	Memoized int            `json:"memoized"`
+	Deduped  int            `json:"deduped,omitempty"`
+	Skipped  []skippedCombo `json:"skipped,omitempty"`
+	Children []sweepChild   `json:"children"`
+}
+
+// Status returns the sweep's JSON-ready view.
+func (sw *Sweep) Status() SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := SweepStatus{
+		ID:       sw.ID,
+		Spec:     sw.Spec,
+		State:    sw.state,
+		Created:  sw.created,
+		Degraded: sw.degraded,
+		Total:    len(sw.children),
+		Counts:   map[string]int{},
+		Deduped:  sw.deduped,
+		Skipped:  append([]skippedCombo(nil), sw.skipped...),
+	}
+	if !sw.finished.IsZero() {
+		f := sw.finished
+		st.Finished = &f
+	}
+	for _, ch := range sw.children {
+		st.Counts[string(ch.State)]++
+		if ch.Memoized {
+			st.Memoized++
+		}
+		st.Children = append(st.Children, *ch)
+	}
+	return st
+}
+
+// progress is the compact rollup pushed on the sweep SSE stream.
+func (sw *Sweep) progress() (terminal int, data []byte) {
+	st := sw.Status()
+	terminal = st.Counts[string(StateDone)] + st.Counts[string(StateFailed)] +
+		st.Counts[string(StateCanceled)]
+	p := map[string]any{
+		"sweep_id": st.ID,
+		"state":    st.State,
+		"total":    st.Total,
+		"counts":   st.Counts,
+		"memoized": st.Memoized,
+		"degraded": st.Degraded,
+	}
+	data, _ = json.Marshal(p)
+	return terminal, data
+}
+
+// wait returns the sweep's state and a channel closed on the next change.
+func (sw *Sweep) wait() (state string, changed <-chan struct{}) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.state, sw.changed
+}
+
+// terminal reports whether the sweep has finished.
+func (sw *Sweep) terminal() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.state != SweepRunning
+}
+
+func (sw *Sweep) notifyLocked() {
+	close(sw.changed)
+	sw.changed = make(chan struct{})
+}
+
+// Table renders the sweep's deterministic aggregate table: one TSV row
+// per child, sorted by (workload, config, compressor, scale), carrying
+// only deterministic columns (spec tuple, state, result digest, counter
+// totals). No timestamps, no run IDs, no worker names — so the table of a
+// sweep that survived a worker kill is byte-identical to a no-failure
+// control run of the same sweep. That comparison is the CI sweep-smoke's
+// core assertion.
+func (sw *Sweep) Table() string {
+	sw.mu.Lock()
+	children := make([]*sweepChild, len(sw.children))
+	copy(children, sw.children)
+	sw.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		a, b := children[i].Spec, children[j].Spec
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Compressor != b.Compressor {
+			return a.Compressor < b.Compressor
+		}
+		return a.Scale < b.Scale
+	})
+	var b strings.Builder
+	b.WriteString("workload\tconfig\tcompressor\tscale\tstate\tresult_digest\tcycles\tinstructions\tl1_misses\tl2_misses\ttraffic_words\n")
+	for _, ch := range children {
+		var cycles, insts, l1m, l2m int64
+		var traffic float64
+		if ch.result != nil {
+			cycles, insts = ch.result.Cycles, ch.result.Instructions
+			l1m, l2m = ch.result.L1Misses, ch.result.L2Misses
+			traffic = ch.result.MemTrafficWords
+		}
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%g\n",
+			ch.Spec.Workload, ch.Spec.Config, ch.Spec.Compressor, ch.Spec.Scale,
+			ch.State, ch.Digest, cycles, insts, l1m, l2m, traffic)
+	}
+	return b.String()
+}
+
+// sweepSet owns every sweep: registration, retention, lookup, drain.
+type sweepSet struct {
+	g *Registry
+
+	mu     sync.Mutex
+	sweeps map[int]*Sweep
+	order  []int
+	next   int
+	closed bool
+}
+
+func newSweepSet(g *Registry) *sweepSet {
+	return &sweepSet{g: g, sweeps: make(map[int]*Sweep), next: 1}
+}
+
+// get returns the sweep with the given id.
+func (ss *sweepSet) get(id int) (*Sweep, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sw, ok := ss.sweeps[id]
+	return sw, ok
+}
+
+// all returns every retained sweep in admission order.
+func (ss *sweepSet) all() []*Sweep {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*Sweep, 0, len(ss.order))
+	for _, id := range ss.order {
+		out = append(out, ss.sweeps[id])
+	}
+	return out
+}
+
+// register admits a sweep and applies retention (oldest terminal sweeps
+// beyond the bound are forgotten).
+func (ss *sweepSet) register(sw *Sweep) error {
+	retain := ss.g.cfg.SweepRetain
+	if retain <= 0 {
+		retain = DefaultSweepRetain
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return ErrDraining
+	}
+	sw.ID = ss.next
+	ss.next++
+	ss.sweeps[sw.ID] = sw
+	ss.order = append(ss.order, sw.ID)
+	terminal := 0
+	for _, id := range ss.order {
+		if ss.sweeps[id].terminal() {
+			terminal++
+		}
+	}
+	if terminal > retain {
+		keep := ss.order[:0]
+		for _, id := range ss.order {
+			if terminal > retain && ss.sweeps[id].terminal() {
+				terminal--
+				delete(ss.sweeps, id)
+				continue
+			}
+			keep = append(keep, id)
+		}
+		ss.order = keep
+	}
+	return nil
+}
+
+// drain stops admitting sweeps and cancels every running one.
+func (ss *sweepSet) drain() {
+	ss.mu.Lock()
+	ss.closed = true
+	sweeps := make([]*Sweep, 0, len(ss.order))
+	for _, id := range ss.order {
+		sweeps = append(sweeps, ss.sweeps[id])
+	}
+	ss.mu.Unlock()
+	for _, sw := range sweeps {
+		sw.requestCancel()
+	}
+}
+
+// requestCancel cancels the sweep's context (idempotent); children react
+// through their own cancellation paths.
+func (sw *Sweep) requestCancel() {
+	sw.mu.Lock()
+	cancel := sw.cancel
+	canceling := sw.state == SweepRunning
+	sw.mu.Unlock()
+	if canceling && cancel != nil {
+		cancel()
+	}
+}
+
+// expandSweep turns the cross-product into deduplicated, normalized child
+// specs. Invalid cells are recorded as skips; a bound violation or an
+// all-invalid product is a *SpecError (HTTP 400).
+func (g *Registry) expandSweep(spec SweepSpec) (children []*sweepChild, skipped []skippedCombo, deduped int, err error) {
+	if len(spec.Workloads) == 0 {
+		return nil, nil, 0, specErrorf("workloads", "at least one workload is required")
+	}
+	if len(spec.Configs) == 0 {
+		return nil, nil, 0, specErrorf("configs", "at least one config is required")
+	}
+	compressors := spec.Compressors
+	if len(compressors) == 0 {
+		compressors = []string{""}
+	}
+	scales := spec.Scales
+	if len(scales) == 0 {
+		scales = []int{0}
+	}
+	product := len(spec.Workloads) * len(spec.Configs) * len(compressors) * len(scales)
+	if product > MaxSweepProduct {
+		return nil, nil, 0, specErrorf("product",
+			"cross-product of %d workloads x %d configs x %d compressors x %d scales is %d runs, exceeding the %d bound",
+			len(spec.Workloads), len(spec.Configs), len(compressors), len(scales),
+			product, MaxSweepProduct)
+	}
+
+	seen := map[string]bool{}
+	for _, wl := range spec.Workloads {
+		for _, cfg := range spec.Configs {
+			for _, comp := range compressors {
+				for _, scale := range scales {
+					rs := RunSpec{
+						Workload: wl, Config: cfg, Compressor: comp, Scale: scale,
+						Functional: spec.Functional, Interval: spec.Interval,
+						TimeoutSec: spec.TimeoutSec,
+					}
+					norm, nerr := g.normalize(rs)
+					if nerr != nil {
+						skipped = append(skipped, skippedCombo{
+							Workload: wl, Config: cfg, Compressor: comp, Scale: scale,
+							Reason: nerr.Error(),
+						})
+						continue
+					}
+					hash, herr := ledger.SpecHash(norm)
+					if herr != nil {
+						skipped = append(skipped, skippedCombo{
+							Workload: wl, Config: cfg, Compressor: comp, Scale: scale,
+							Reason: fmt.Sprintf("spec hash: %v", herr),
+						})
+						continue
+					}
+					if seen[hash] {
+						deduped++
+						continue
+					}
+					seen[hash] = true
+					children = append(children, &sweepChild{
+						Spec: norm, SpecHash: hash, State: StateQueued,
+					})
+				}
+			}
+		}
+	}
+	if len(children) == 0 {
+		reason := "no combinations supplied"
+		if len(skipped) > 0 {
+			reason = fmt.Sprintf("every combination was invalid; first: %s", skipped[0].Reason)
+		}
+		return nil, nil, 0, specErrorf("spec", "%s", reason)
+	}
+	return children, skipped, deduped, nil
+}
+
+// LaunchSweep expands, validates and admits a sweep, then executes it on
+// a background engine goroutine. Children run with bounded concurrency —
+// locally through the registry's own admission control (with jittered
+// backoff on queue-full), or via the fabric coordinator when one is
+// configured. A child failure degrades the sweep; it never aborts it.
+func (g *Registry) LaunchSweep(spec SweepSpec) (*Sweep, error) {
+	children, skipped, deduped, err := g.expandSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.rejectedDrain++
+		g.mu.Unlock()
+		return nil, ErrDraining
+	}
+	g.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &Sweep{
+		Spec:     spec,
+		state:    SweepRunning,
+		created:  time.Now(),
+		children: children,
+		skipped:  skipped,
+		deduped:  deduped,
+		cancel:   cancel,
+		changed:  make(chan struct{}),
+	}
+	if err := g.sweeps.register(sw); err != nil {
+		cancel()
+		return nil, err
+	}
+	g.log.Info("sweep launched", "sweep_id", sw.ID, "children", len(children),
+		"skipped", len(skipped), "deduped", deduped, "fabric", g.fab != nil)
+	go g.runSweep(sw, ctx)
+	return sw, nil
+}
+
+// sweepConcurrency is how many children execute at once: the local pool
+// width, or twice the worker count when a fabric is placed in front (each
+// worker has its own pool; modest oversubscription keeps their queues
+// fed).
+func (g *Registry) sweepConcurrency() int {
+	if g.fab != nil {
+		if n := 2 * g.fab.WorkerCount(); n > 0 {
+			return n
+		}
+	}
+	return g.cfg.MaxRunning
+}
+
+// runSweep drives every child to a terminal state, then finalises the
+// sweep: done when all children ended, degraded if any failed or were
+// canceled, canceled when cancellation was requested before completion.
+func (g *Registry) runSweep(sw *Sweep, ctx context.Context) {
+	sem := make(chan struct{}, g.sweepConcurrency())
+	var wg sync.WaitGroup
+	for i := range sw.children {
+		wg.Add(1)
+		go func(ch *sweepChild, idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if g.fab != nil {
+				g.runSweepChildFabric(ctx, sw, ch, idx)
+			} else {
+				g.runSweepChildLocal(ctx, sw, ch, idx)
+			}
+		}(sw.children[i], i)
+	}
+	wg.Wait()
+
+	sw.mu.Lock()
+	canceled := ctx.Err() != nil
+	allCanceled := true
+	for _, ch := range sw.children {
+		if ch.State == StateFailed || ch.State == StateCanceled {
+			sw.degraded = true
+		}
+		if ch.State != StateCanceled {
+			allCanceled = false
+		}
+	}
+	if canceled && allCanceled {
+		sw.state = SweepCanceled
+	} else {
+		sw.state = SweepDone
+	}
+	sw.finished = time.Now()
+	state, degraded := sw.state, sw.degraded
+	sw.notifyLocked()
+	sw.mu.Unlock()
+	g.log.Info("sweep finished", "sweep_id", sw.ID, "state", state, "degraded", degraded)
+}
+
+// updateChild applies fn to the child under the sweep lock and notifies
+// progress waiters.
+func (sw *Sweep) updateChild(ch *sweepChild, fn func(*sweepChild)) {
+	sw.mu.Lock()
+	fn(ch)
+	sw.notifyLocked()
+	sw.mu.Unlock()
+}
+
+// runSweepChildLocal executes one child through the local registry:
+// launch (retrying queue-full with jittered backoff), then follow the run
+// to its terminal state. Cancellation fans out to the child run.
+func (g *Registry) runSweepChildLocal(ctx context.Context, sw *Sweep, ch *sweepChild, idx int) {
+	bo := backoff.New(backoff.Policy{}, int64(sw.ID)<<16|int64(idx))
+	var run *Run
+	for {
+		if ctx.Err() != nil {
+			sw.updateChild(ch, func(c *sweepChild) {
+				c.State = StateCanceled
+				c.Error = "sweep canceled"
+			})
+			return
+		}
+		var err error
+		run, err = g.Launch(ch.Spec)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrQueueFull) {
+			select {
+			case <-time.After(bo.Next()):
+				continue
+			case <-ctx.Done():
+				continue // loop observes ctx.Err and finishes as canceled
+			}
+		}
+		// Draining or an internal error: the child fails, the sweep
+		// degrades, the rest of the batch continues.
+		sw.updateChild(ch, func(c *sweepChild) {
+			c.State = StateFailed
+			c.Error = err.Error()
+		})
+		return
+	}
+
+	sw.updateChild(ch, func(c *sweepChild) {
+		c.State = StateRunning
+		c.RunID = run.ID
+		c.TraceID = run.TraceID()
+		c.Attempts = 1
+	})
+
+	for {
+		_, _, state, changed := run.SnapsFrom(0)
+		if state.Terminal() {
+			break
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			// Fan-out cancellation: best-effort cancel, then keep waiting —
+			// the run WILL reach a terminal state (cancellation is
+			// cooperative but prompt).
+			g.Cancel(run.ID, fmt.Sprintf("sweep %d canceled", sw.ID))
+			select {
+			case <-changed:
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+
+	st := run.Status()
+	var digest string
+	if st.Result != nil {
+		digest, _ = ledger.ResultDigest(st.Result)
+	}
+	sw.updateChild(ch, func(c *sweepChild) {
+		c.State = st.State
+		c.Memoized = st.Memoized
+		c.Digest = digest
+		c.Error = st.Error
+		c.result = st.Result
+	})
+}
+
+// runSweepChildFabric executes one child through the coordinator: the
+// fabric places the spec hash on a worker, retries on loss, and returns
+// the terminal outcome.
+func (g *Registry) runSweepChildFabric(ctx context.Context, sw *Sweep, ch *sweepChild, idx int) {
+	specJSON, err := json.Marshal(ch.Spec)
+	if err != nil {
+		sw.updateChild(ch, func(c *sweepChild) {
+			c.State = StateFailed
+			c.Error = fmt.Sprintf("marshal spec: %v", err)
+		})
+		return
+	}
+	sw.updateChild(ch, func(c *sweepChild) { c.State = StateRunning })
+
+	out, err := g.fab.Execute(ctx, ch.SpecHash, specJSON)
+	if err != nil {
+		state := StateFailed
+		if ctx.Err() != nil {
+			state = StateCanceled
+		}
+		sw.updateChild(ch, func(c *sweepChild) {
+			c.State = state
+			c.Error = err.Error()
+			c.Worker = out.Worker
+			c.Attempts = out.Attempts
+		})
+		return
+	}
+
+	var digest string
+	var res *cppcache.Result
+	if len(out.Result) > 0 {
+		// Digesting the raw JSON equals digesting the struct: Canonical
+		// re-parses and re-marshals with sorted keys either way (the
+		// equivalence is pinned by a ledger unit test). So a worker's digest
+		// is comparable against the local ledger without re-execution.
+		digest, _ = ledger.ResultDigest(out.Result)
+		res = new(cppcache.Result)
+		if uerr := json.Unmarshal(out.Result, res); uerr != nil {
+			res = nil
+		}
+	}
+	sw.updateChild(ch, func(c *sweepChild) {
+		c.State = RunState(out.State)
+		c.RunID = out.RunID
+		c.TraceID = out.TraceID
+		c.Worker = out.Worker
+		c.Attempts = out.Attempts
+		c.Memoized = out.Memoized
+		c.Digest = digest
+		c.Error = out.Error
+		c.result = res
+	})
+}
+
+// Sweeps returns every retained sweep in admission order.
+func (g *Registry) Sweeps() []*Sweep { return g.sweeps.all() }
+
+// GetSweep returns the sweep with the given id.
+func (g *Registry) GetSweep(id int) (*Sweep, bool) { return g.sweeps.get(id) }
+
+// CancelSweep requests fan-out cancellation of a running sweep.
+func (g *Registry) CancelSweep(id int) error {
+	sw, ok := g.sweeps.get(id)
+	if !ok {
+		return fmt.Errorf("no sweep %d", id)
+	}
+	if sw.terminal() {
+		sw.mu.Lock()
+		state := sw.state
+		sw.mu.Unlock()
+		return fmt.Errorf("sweep %d is already %s", id, state)
+	}
+	sw.requestCancel()
+	return nil
+}
+
+// Fabric returns the configured coordinator (nil when single-node).
+func (g *Registry) Fabric() *fabric.Coordinator { return g.fab }

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cppcache/internal/backoff"
+)
+
+// sweepFromPath resolves the {id} path value to a sweep.
+func (s *Server) sweepFromPath(w http.ResponseWriter, r *http.Request) (*Sweep, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad sweep id %q", r.PathValue("id"))
+		return nil, false
+	}
+	sw, ok := s.reg.GetSweep(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no sweep %d", id)
+		return nil, false
+	}
+	return sw, true
+}
+
+// handleSweepLaunch is POST /sweeps: expand the cross-product, admit the
+// deduplicated children, answer 202 with the initial status. Bound
+// violations and empty/all-invalid products are structured 400s naming
+// the offending field; a draining registry is 503 with Retry-After.
+func (s *Server) handleSweepLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	sw, err := s.reg.LaunchSweep(spec)
+	if err != nil {
+		var se *SpecError
+		switch {
+		case errors.As(err, &se):
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(se)
+		case errors.Is(err, ErrDraining):
+			retryAfter(w)
+			jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/sweeps/%d", sw.ID))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, sw.Status())
+}
+
+// handleSweepList is GET /sweeps: every retained sweep, newest first.
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	sweeps := s.reg.Sweeps()
+	out := make([]SweepStatus, 0, len(sweeps))
+	for i := len(sweeps) - 1; i >= 0; i-- {
+		out = append(out, sweeps[i].Status())
+	}
+	writeJSON(w, out)
+}
+
+// handleSweep is GET /sweeps/{id}: the aggregate status with per-child
+// states, workers, attempts, digests and skip reasons.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, sw.Status())
+}
+
+// handleSweepTable is GET /sweeps/{id}/table: the deterministic TSV
+// result table. A sweep still running is 409 — the table is only
+// meaningful (and only byte-stable) once every child is terminal.
+func (s *Server) handleSweepTable(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFromPath(w, r)
+	if !ok {
+		return
+	}
+	if !sw.terminal() {
+		jsonError(w, http.StatusConflict, "sweep %d still running; the table is available at completion", sw.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	fmt.Fprint(w, sw.Table())
+}
+
+// handleSweepCancel is DELETE /sweeps/{id}: fan-out cancellation. The
+// sweep still finalises asynchronously (children observe the canceled
+// context), so the response is 202 with the current status.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFromPath(w, r)
+	if !ok {
+		return
+	}
+	if err := s.reg.CancelSweep(sw.ID); err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, sw.Status())
+}
+
+// handleSweepStream is GET /sweeps/{id}/stream: SSE progress. Each event
+// is the compact progress rollup (state, per-state counts, memo hits,
+// degraded flag); the stream closes with an "end" event carrying the full
+// terminal status. Event ids count emitted progress events; the retry
+// advice line paces reconnects with the shared backoff base.
+func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFromPath(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	push := func(emit func() error) bool {
+		rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout()))
+		if err := emit(); err != nil {
+			s.reg.CountSlowStream()
+			s.log.Warn("slow sweep stream consumer disconnected",
+				"sweep_id", sw.ID, "err", err)
+			return false
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		return true
+	}
+
+	if !push(func() error {
+		_, err := fmt.Fprintf(w, "retry: %d\n\n", backoff.DefaultPolicy.Delay(1).Milliseconds())
+		return err
+	}) {
+		return
+	}
+
+	id := 0
+	for {
+		state, changed := sw.wait()
+		_, data := sw.progress()
+		if !push(func() error {
+			_, err := fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", id, data)
+			return err
+		}) {
+			return
+		}
+		id++
+		if state != SweepRunning {
+			final, _ := json.Marshal(sw.Status())
+			push(func() error {
+				_, err := fmt.Fprintf(w, "event: end\ndata: %s\n\n", final)
+				return err
+			})
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
